@@ -1,0 +1,94 @@
+// Incremental-checkpointing ablation (libckpt's optimization, paper §6).
+//
+// A native application with a large, sparsely-mutating state checkpoints
+// periodically under stop-and-sync. Full images rewrite the whole state
+// every epoch; incremental images write only the dirty pages (with a full
+// anchor every 4 epochs). We compare bytes written and checkpoint latency.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "util/rng.hpp"
+
+using namespace starfish;
+
+namespace {
+
+struct Outcome {
+  uint64_t bytes = 0;
+  size_t images = 0;
+  double mean_epoch_s = 0;
+  uint64_t epochs = 0;
+};
+
+Outcome run(bool incremental, uint64_t state_bytes, int dirty_pages_per_step) {
+  core::ClusterOptions opts;
+  opts.nodes = 2;
+  core::Cluster cluster(opts);
+  cluster.registry().register_native("sparse", [state_bytes,
+                                                dirty_pages_per_step](core::AppContext& ctx) {
+    util::Bytes state(state_bytes, std::byte{0});
+    int64_t step = 0;
+    util::Rng rng(1234 + ctx.rank());
+    ctx.set_state_capture([&] { return state; });
+    ctx.set_state_restore([&](const util::Bytes& b) { state = b; });
+    while (step < 150) {
+      ctx.compute(sim::milliseconds(10));
+      ++step;
+      for (int p = 0; p < dirty_pages_per_step; ++p) {
+        const size_t off = rng.below(state.size());
+        state[off] = static_cast<std::byte>(step & 0xff);
+      }
+    }
+  });
+  daemon::JobSpec job;
+  job.name = "sparse";
+  job.binary = "sparse";
+  job.nprocs = 2;
+  job.protocol = daemon::CrProtocol::kStopAndSync;
+  job.level = daemon::CkptLevel::kNative;
+  job.ckpt_interval = sim::milliseconds(60);
+  job.incremental_ckpt = incremental;
+  cluster.submit(job);
+  Outcome out;
+  if (!cluster.run_until_done("sparse", sim::seconds(300.0))) return out;
+  out.bytes = cluster.store().bytes_written();
+  out.images = cluster.store().image_count();
+  double total = 0;
+  for (uint64_t e = 1;; ++e) {
+    auto d = cluster.store().epoch_duration("sparse", e);
+    if (!d) break;
+    total += sim::to_seconds(*d);
+    ++out.epochs;
+  }
+  out.mean_epoch_s = out.epochs > 0 ? total / static_cast<double>(out.epochs) : 0;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::header("Incremental-checkpointing ablation (full vs page-delta images)");
+  std::printf("native app, 2 ranks, periodic stop-and-sync; a handful of pages dirty\n"
+              "between consecutive epochs; full anchor every 4 epochs\n\n");
+  std::printf("%10s %6s %14s %14s %8s %12s\n", "state", "mode", "bytes written",
+              "mean ckpt [s]", "epochs", "reduction");
+  for (uint64_t mb : {1ull, 4ull}) {
+    const uint64_t state_bytes = mb * 1024 * 1024;
+    const Outcome full = run(false, state_bytes, 4);
+    const Outcome incr = run(true, state_bytes, 4);
+    std::printf("%8lluMB %6s %14s %14.4f %8llu %12s\n",
+                static_cast<unsigned long long>(mb), "full",
+                util::format_bytes(full.bytes).c_str(), full.mean_epoch_s,
+                static_cast<unsigned long long>(full.epochs), "-");
+    char red[32];
+    std::snprintf(red, sizeof red, "%.1fx",
+                  static_cast<double>(full.bytes) / static_cast<double>(incr.bytes));
+    std::printf("%8lluMB %6s %14s %14.4f %8llu %12s\n",
+                static_cast<unsigned long long>(mb), "incr",
+                util::format_bytes(incr.bytes).c_str(), incr.mean_epoch_s,
+                static_cast<unsigned long long>(incr.epochs), red);
+  }
+  std::printf("\nshape checks: bytes written drop by the dirty-page ratio; checkpoint\n"
+              "latency drops with them (less data on the disk's critical path).\n");
+  return 0;
+}

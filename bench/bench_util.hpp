@@ -1,0 +1,138 @@
+// Shared helpers for the figure/table reproduction benches.
+//
+// These benches run inside the deterministic cluster simulator and report
+// *virtual-time* measurements next to the paper's published numbers. They
+// regenerate the shape of each figure — who wins, how curves grow — rather
+// than racing the host CPU (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/cluster.hpp"
+#include "util/strings.hpp"
+
+namespace starfish::benchutil {
+
+/// VM token-ring program used by several benches; `rounds` circulations with
+/// `spin` VM instructions of per-rank work per round.
+inline std::string ring_program(int rounds, int spin) {
+  return R"(
+func main 0 2
+  syscall rank
+  store_local 0
+  syscall world_size
+  store_local 1
+  push_int 0
+  store_global 0
+  push_int 0
+  store_global 1
+loop:
+  load_global 0
+  push_int )" + std::to_string(rounds) + R"(
+  ge
+  jmp_if_false body
+  jmp done
+body:
+  push_int )" + std::to_string(spin) + R"(
+  syscall spin
+  load_local 0
+  push_int 0
+  eq
+  jmp_if_false relay
+  push_int 1
+  load_local 1
+  push_int 1
+  eq
+  jmp_if_false send0
+  pop
+  load_global 0
+  push_int 1
+  add
+  store_global 0
+  jmp loop
+send0:
+  load_global 1
+  syscall send_to
+  push_int -1
+  syscall recv_from
+  store_global 1
+  load_global 0
+  push_int 1
+  add
+  store_global 0
+  jmp loop
+relay:
+  push_int -1
+  syscall recv_from
+  load_local 0
+  add
+  store_global 1
+  load_local 0
+  push_int 1
+  add
+  load_local 1
+  mod
+  load_global 1
+  syscall send_to
+  load_global 0
+  push_int 1
+  add
+  store_global 0
+  jmp loop
+done:
+  load_local 0
+  push_int 0
+  eq
+  jmp_if_false finish
+  load_global 1
+  syscall print
+finish:
+  halt
+)";
+}
+
+/// VM program that allocates `bytes` of heap, takes one user-initiated
+/// checkpoint on rank 0, then idles (for Figure 4).
+inline std::string blob_checkpoint_program(uint64_t bytes) {
+  return R"(
+func main 0 0
+  push_int )" + std::to_string(bytes) + R"(
+  new_bytes
+  store_global 0
+  push_int 20
+  syscall sleep_ms
+  syscall rank
+  push_int 0
+  eq
+  jmp_if_false wait
+  syscall checkpoint
+  pop
+wait:
+  push_int 2000
+  syscall sleep_ms
+  halt
+)";
+}
+
+inline void header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+/// Runs the cluster until epoch 1 of `app` has a begin->commit duration or
+/// `timeout` virtual seconds pass; returns the duration in seconds (<0 on
+/// timeout).
+inline double measure_epoch_seconds(core::Cluster& cluster, const std::string& app,
+                                    uint64_t epoch = 1, double timeout = 60.0) {
+  const sim::Time deadline = cluster.engine().now() + sim::seconds(timeout);
+  while (cluster.engine().now() < deadline) {
+    cluster.run_for(sim::milliseconds(5));
+    auto d = cluster.store().epoch_duration(app, epoch);
+    if (d) return sim::to_seconds(*d);
+  }
+  return -1.0;
+}
+
+}  // namespace starfish::benchutil

@@ -1,0 +1,70 @@
+// Figure 3 — native (homogeneous) checkpointing time, stop-and-sync.
+//
+// The paper plots checkpoint time against checkpointed data size for 1, 2
+// and 4 nodes. Anchors: the smallest point is a 632 KB file (an empty
+// program: the process/VM run-time image) taking 0.104061 s on one node,
+// 0.131898 s on two and 0.149219 s on four; the curve grows linearly up to
+// 135 MB, staying "on the order of seconds".
+//
+// Here each process's state is an application blob sized so that the native
+// image (blob + 632 KB run-time base) hits the target file size; rank 0
+// issues the user-initiated checkpoint downcall and we report the
+// begin -> commit duration of the distributed stop-and-sync protocol.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "ckpt/image.hpp"
+
+using namespace starfish;
+
+namespace {
+
+double run_once(uint64_t file_bytes, uint32_t nodes) {
+  core::ClusterOptions opts;
+  opts.nodes = nodes;
+  core::Cluster cluster(opts);
+  const uint64_t state_bytes =
+      file_bytes > ckpt::kNativeBaseBytes ? file_bytes - ckpt::kNativeBaseBytes : 0;
+  cluster.registry().register_native("blob", [state_bytes](core::AppContext& ctx) {
+    util::Bytes state(state_bytes, std::byte{0x42});
+    ctx.set_state_capture([&state] { return state; });
+    ctx.set_state_restore([&state](const util::Bytes& b) { state = b; });
+    ctx.engine().sleep(sim::milliseconds(20));
+    if (ctx.rank() == 0) ctx.request_checkpoint();
+    ctx.compute(sim::seconds(20.0));  // keep running while the protocol works
+  });
+  daemon::JobSpec job;
+  job.name = "fig3";
+  job.binary = "blob";
+  job.nprocs = nodes;
+  job.protocol = daemon::CrProtocol::kStopAndSync;
+  job.level = daemon::CkptLevel::kNative;
+  cluster.submit(job);
+  return benchutil::measure_epoch_seconds(cluster, "fig3");
+}
+
+}  // namespace
+
+int main() {
+  benchutil::header(
+      "Figure 3: native (homogeneous) checkpoint time vs data size, stop-and-sync");
+  std::printf("paper anchors: 632 KB -> 0.104061 s (1 node), 0.131898 s (2), 0.149219 s (4);\n"
+              "largest file 135 MB; growth linear in size (IDE disk write dominates)\n\n");
+  const std::vector<uint64_t> sizes = {
+      632ull * 1024,        2ull * 1024 * 1024,  8ull * 1024 * 1024,
+      32ull * 1024 * 1024,  64ull * 1024 * 1024, 135ull * 1024 * 1024,
+  };
+  std::printf("%12s %12s %12s %12s\n", "file size", "1 node [s]", "2 nodes [s]", "4 nodes [s]");
+  for (uint64_t size : sizes) {
+    std::printf("%12s", util::format_bytes(size).c_str());
+    for (uint32_t nodes : {1u, 2u, 4u}) {
+      std::printf(" %12.6f", run_once(size, nodes));
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nshape checks: linear growth with size; per-node coordination overhead\n"
+              "adds a size-independent term that grows with the node count.\n");
+  return 0;
+}

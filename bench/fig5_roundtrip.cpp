@@ -1,0 +1,63 @@
+// Figure 5 — application-level round-trip delay vs data size.
+//
+// The paper's ping application: one node sends, the peer replies
+// immediately; the average over 100 repetitions is reported for both
+// TCP/IP and BIP/Myrinet. Anchors: a 1-byte message costs 552 µs over
+// TCP/IP and 86 µs over BIP/Myrinet, both growing linearly with size.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "mpi/proc.hpp"
+
+using namespace starfish;
+
+namespace {
+
+double measure_rtt_us(net::TransportKind kind, size_t bytes, int reps) {
+  sim::Engine eng;
+  net::Network net(eng);
+  auto h0 = net.add_host("a");
+  auto h1 = net.add_host("b");
+  mpi::Proc p0(net, *h0, kind);
+  mpi::Proc p1(net, *h1, kind);
+  p0.configure_world(0, {p0.addr(), p1.addr()});
+  p1.configure_world(1, {p0.addr(), p1.addr()});
+
+  sim::Duration total = 0;
+  h1->spawn("ponger", [&] {
+    for (int i = 0; i < reps; ++i) {
+      auto msg = p1.recv(mpi::kWorldCommId, 0, 0);
+      p1.send(mpi::kWorldCommId, 0, 0, std::move(msg));
+    }
+  });
+  h0->spawn("pinger", [&] {
+    for (int i = 0; i < reps; ++i) {
+      const sim::Time start = eng.now();
+      p0.send(mpi::kWorldCommId, 1, 0, util::Bytes(bytes, std::byte{0x5a}));
+      (void)p0.recv(mpi::kWorldCommId, 1, 0);
+      total += eng.now() - start;
+    }
+  });
+  eng.run();
+  return sim::to_micros(total) / reps;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::header("Figure 5: round-trip delay vs data size (ping, 100 repetitions)");
+  std::printf("paper anchors: 1 byte -> 552 us over TCP/IP, 86 us over BIP/Myrinet;\n"
+              "both curves grow linearly with message size\n\n");
+  const std::vector<size_t> sizes = {1, 64, 256, 1024, 4096, 16384, 65536};
+  std::printf("%10s %16s %16s %10s\n", "bytes", "TCP/IP [us]", "BIP/Myrinet [us]", "ratio");
+  for (size_t s : sizes) {
+    const double tcp = measure_rtt_us(net::TransportKind::kTcpIp, s, 100);
+    const double bip = measure_rtt_us(net::TransportKind::kBipMyrinet, s, 100);
+    std::printf("%10zu %16.1f %16.1f %9.1fx\n", s, tcp, bip, tcp / bip);
+  }
+  std::printf("\nshape checks: BIP wins everywhere; the gap is largest for small\n"
+              "messages (no kernel crossing) and both curves are affine in size.\n");
+  return 0;
+}

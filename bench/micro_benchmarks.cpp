@@ -1,0 +1,134 @@
+// Real-time microbenchmarks (google-benchmark) of the substrate hot paths:
+// the figure/table benches above measure *virtual* time inside the
+// simulator; these measure how fast the simulator and codecs themselves run
+// on the host, which bounds how large an experiment is practical.
+#include <benchmark/benchmark.h>
+
+#include "ckpt/image.hpp"
+#include "gcs/wire.hpp"
+#include "mpi/frame.hpp"
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "util/buffer.hpp"
+
+using namespace starfish;
+
+namespace {
+
+void BM_EngineEventDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    for (int i = 0; i < 1000; ++i) {
+      eng.schedule(sim::microseconds(i), [] {});
+    }
+    eng.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EngineEventDispatch);
+
+void BM_FiberContextSwitch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    eng.spawn("switcher", [&eng] {
+      for (int i = 0; i < 1000; ++i) eng.yield();
+    });
+    eng.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);  // two switches per yield
+}
+BENCHMARK(BM_FiberContextSwitch);
+
+void BM_ChannelSendRecv(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    sim::Channel<int> ch(eng);
+    eng.spawn("rx", [&] {
+      for (int i = 0; i < 1000; ++i) (void)ch.recv();
+    });
+    eng.spawn("tx", [&] {
+      for (int i = 0; i < 1000; ++i) ch.send(i);
+    });
+    eng.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ChannelSendRecv);
+
+void BM_BufferWriterU64(benchmark::State& state) {
+  for (auto _ : state) {
+    util::Bytes out;
+    out.reserve(8 * 1024);
+    util::Writer w(out);
+    for (int i = 0; i < 1024; ++i) w.u64(static_cast<uint64_t>(i) * 0x9e3779b9);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * 8 * 1024);
+}
+BENCHMARK(BM_BufferWriterU64);
+
+void BM_MpiFrameRoundtrip(benchmark::State& state) {
+  mpi::Frame f;
+  f.kind = mpi::FrameKind::kEager;
+  f.comm = 0;
+  f.src_rank = 3;
+  f.dst_rank = 7;
+  f.tag = 42;
+  f.payload = util::Bytes(static_cast<size_t>(state.range(0)), std::byte{0x5a});
+  for (auto _ : state) {
+    auto bytes = f.encode();
+    auto back = mpi::Frame::decode(bytes);
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MpiFrameRoundtrip)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_PortableImageEncode(benchmark::State& state) {
+  vm::VmState s;
+  vm::HeapObject blob;
+  blob.kind = vm::HeapObject::Kind::kBytes;
+  blob.bytes = util::Bytes(static_cast<size_t>(state.range(0)), std::byte{1});
+  s.heap.push_back(std::move(blob));
+  for (int i = 0; i < 256; ++i) s.globals.push_back(vm::Value::integer(i));
+  for (auto _ : state) {
+    auto img = ckpt::portable_encode(sim::default_machine(), s);
+    benchmark::DoNotOptimize(img.payload.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PortableImageEncode)->Arg(64 * 1024)->Arg(1024 * 1024);
+
+void BM_PortableImageCrossDecode(benchmark::State& state) {
+  // Encode big-endian 32-bit, decode little-endian 64-bit: the conversion
+  // path of the Table 2 matrix.
+  auto machines = sim::table2_machines();
+  vm::VmState s;
+  for (int i = 0; i < 4096; ++i) s.globals.push_back(vm::Value::integer(i * 3));
+  auto img = ckpt::portable_encode(machines[1], s);
+  for (auto _ : state) {
+    auto back = ckpt::portable_decode(img, machines[5]);
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_PortableImageCrossDecode);
+
+void BM_GcsWireRoundtrip(benchmark::State& state) {
+  gcs::WireMsg msg;
+  msg.kind = gcs::MsgKind::kOrder;
+  msg.from = {2, 0};
+  msg.gseq = 123456;
+  msg.origin = {1, 0};
+  msg.payload = util::Bytes(256, std::byte{7});
+  for (auto _ : state) {
+    auto bytes = msg.encode();
+    auto back = gcs::WireMsg::decode(bytes);
+    benchmark::DoNotOptimize(back);
+  }
+}
+BENCHMARK(BM_GcsWireRoundtrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// The cluster management session (paper section 3.1.1): an ASCII protocol
+// over a TCP connection to any daemon, used by administrators and users
+// (the paper's Java GUI speaks exactly this protocol underneath).
+//
+//   $ ./examples/management_cli
+#include <cstdio>
+
+#include "core/cluster.hpp"
+#include "util/strings.hpp"
+
+using namespace starfish;
+
+namespace {
+constexpr const char* kTinyApp = R"(
+func main 0 0
+  push_int 200000
+  syscall spin
+  syscall rank
+  syscall print
+  halt
+)";
+
+void session(core::Cluster& cluster, sim::HostId via, const std::vector<std::string>& lines) {
+  std::printf("-- session with node %u --\n", via);
+  auto replies = cluster.client_session(via, lines);
+  size_t i = 0;
+  for (const auto& reply : replies) {
+    if (i == 0) {
+      std::printf("   <- %s\n", reply.c_str());
+    } else {
+      std::printf("   -> %s\n", lines[i - 1].c_str());
+      std::printf("   <- %s\n", reply.c_str());
+    }
+    ++i;
+  }
+}
+}  // namespace
+
+int main() {
+  core::ClusterOptions opts;
+  opts.nodes = 3;
+  core::Cluster cluster(opts);
+  cluster.registry().register_vm("tiny", kTinyApp);
+  cluster.boot();
+
+  // An administrator reconfigures the cluster from node 0.
+  session(cluster, 0,
+          {"LOGIN root starfish ADMIN", "NODES", "SET scheduler round-robin",
+           "GET scheduler", "NODE DISABLE 2"});
+  cluster.run_for(sim::milliseconds(50));
+
+  // A user submits and inspects a job through a different node.
+  session(cluster, 1,
+          {"LOGIN alice pw USER", "SUBMIT myjob tiny 2 PROTOCOL=sync INTERVAL_MS=50",
+           "PS"});
+  cluster.run_for(sim::milliseconds(200));
+  session(cluster, 1, {"LOGIN alice pw USER", "STATUS myjob"});
+
+  // Unauthorized operations are rejected.
+  session(cluster, 2, {"LOGIN mallory pw USER", "DELETE myjob", "NODE ENABLE 2"});
+
+  cluster.run_until_done("myjob", sim::seconds(10.0));
+  std::printf("job finished; outputs:\n");
+  for (const auto& line : cluster.output("myjob")) std::printf("   %s\n", line.c_str());
+  return 0;
+}

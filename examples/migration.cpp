@@ -1,0 +1,121 @@
+// Process migration (paper section 3.2.1): "C/R allows Starfish to migrate
+// application processes from one node to another, e.g., if a better node
+// becomes available, or a new node is added to the cluster."
+//
+// A new workstation joins the running cluster; a rank is then migrated onto
+// it via checkpoint + placement change, and the job finishes with the exact
+// same answer.
+//
+//   $ ./examples/migration
+#include <cstdio>
+
+#include "core/cluster.hpp"
+#include "util/strings.hpp"
+
+using namespace starfish;
+
+namespace {
+constexpr const char* kRing = R"(
+func main 0 2
+  syscall rank
+  store_local 0
+  syscall world_size
+  store_local 1
+  push_int 0
+  store_global 0
+  push_int 0
+  store_global 1
+loop:
+  load_global 0
+  push_int 400
+  ge
+  jmp_if_false body
+  jmp done
+body:
+  push_int 100000
+  syscall spin
+  load_local 0
+  push_int 0
+  eq
+  jmp_if_false relay
+  push_int 1
+  load_global 1
+  syscall send_to
+  push_int -1
+  syscall recv_from
+  store_global 1
+  load_global 0
+  push_int 1
+  add
+  store_global 0
+  jmp loop
+relay:
+  push_int -1
+  syscall recv_from
+  load_local 0
+  add
+  store_global 1
+  load_local 0
+  push_int 1
+  add
+  load_local 1
+  mod
+  load_global 1
+  syscall send_to
+  load_global 0
+  push_int 1
+  add
+  store_global 0
+  jmp loop
+done:
+  load_local 0
+  push_int 0
+  eq
+  jmp_if_false finish
+  load_global 1
+  syscall print
+finish:
+  halt
+)";
+}  // namespace
+
+int main() {
+  core::ClusterOptions opts;
+  opts.nodes = 3;
+  core::Cluster cluster(opts);
+  cluster.registry().register_vm("ring", kRing);
+  cluster.boot();
+
+  daemon::JobSpec job;
+  job.name = "job";
+  job.binary = "ring";
+  job.nprocs = 3;
+  job.policy = daemon::FtPolicy::kRestart;
+  job.protocol = daemon::CrProtocol::kStopAndSync;
+  job.level = daemon::CkptLevel::kVm;
+  cluster.submit(job);
+  cluster.run_for(sim::milliseconds(60));
+  std::printf("t=%.3fs: 3-rank ring running on nodes 0-2\n",
+              sim::to_seconds(cluster.engine().now()));
+
+  const sim::HostId newcomer = cluster.add_node();
+  cluster.run_for(sim::seconds(1.0));  // the new daemon joins the group
+  std::printf("t=%.3fs: node %u joined; daemon group now has %zu members\n",
+              sim::to_seconds(cluster.engine().now()), newcomer,
+              cluster.daemon_at(0).group().view().size());
+
+  std::printf("t=%.3fs: migrating rank 1 from node 1 to node %u "
+              "(checkpoint -> move -> restore)\n",
+              sim::to_seconds(cluster.engine().now()), newcomer);
+  cluster.daemon_at(1).migrate("job", 1, newcomer);
+
+  const bool ok = cluster.run_until_done("job");
+  std::printf("t=%.3fs: job %s\n", sim::to_seconds(cluster.engine().now()),
+              ok ? "completed" : "FAILED");
+  for (const auto& line : cluster.output("job")) std::printf("  output: %s\n", line.c_str());
+  const auto moved = cluster.daemon_for_host(newcomer).local_ranks("job");
+  std::printf("rank 1 %s on node %u\n",
+              (moved.size() == 1 && moved[0] == 1) ? "ran to completion" : "NOT found",
+              newcomer);
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,220 @@
+#include "ckpt/image.hpp"
+
+namespace starfish::ckpt {
+
+namespace {
+
+using util::Endian;
+using util::Reader;
+using util::Writer;
+using vm::Tag;
+using vm::Value;
+
+constexpr uint32_t kPortableMagic = 0x53465650;  // "SFVP"
+
+/// Writes an integer in a saver-word-sized slot.
+void put_word(Writer& w, int64_t v, uint8_t word_bytes) {
+  if (word_bytes >= 8) {
+    w.i64(v);
+  } else {
+    w.i32(static_cast<int32_t>(v));  // VM arithmetic already wrapped to 32 bits
+  }
+}
+
+util::Result<int64_t> get_word(Reader& r, uint8_t word_bytes) {
+  if (word_bytes >= 8) return r.i64();
+  auto v = r.i32();
+  if (!v) return v.error();
+  return static_cast<int64_t>(v.value());
+}
+
+void put_value(Writer& w, const Value& v, uint8_t word_bytes) {
+  w.u8(static_cast<uint8_t>(v.tag));
+  switch (v.tag) {
+    case Tag::kUnit: break;
+    case Tag::kInt: put_word(w, v.i, word_bytes); break;
+    case Tag::kFloat: w.f64(v.f); break;
+    case Tag::kBool: w.u8(v.i ? 1 : 0); break;
+    case Tag::kRef: w.u32(v.ref); break;
+  }
+}
+
+util::Result<Value> get_value(Reader& r, uint8_t saver_word, const sim::Machine& target) {
+  auto tag = r.u8();
+  if (!tag) return tag.error();
+  switch (static_cast<Tag>(tag.value())) {
+    case Tag::kUnit: return Value::unit();
+    case Tag::kInt: {
+      auto v = get_word(r, saver_word);
+      if (!v) return v.error();
+      if (!vm::fits_word(v.value(), target)) {
+        return util::Error::make(
+            "narrow", "integer " + std::to_string(v.value()) +
+                          " does not fit the target machine's " +
+                          std::to_string(target.word_bytes * 8) + "-bit word");
+      }
+      return Value::integer(v.value());
+    }
+    case Tag::kFloat: {
+      auto v = r.f64();
+      if (!v) return v.error();
+      return Value::real(v.value());
+    }
+    case Tag::kBool: {
+      auto v = r.u8();
+      if (!v) return v.error();
+      return Value::boolean(v.value() != 0);
+    }
+    case Tag::kRef: {
+      auto v = r.u32();
+      if (!v) return v.error();
+      return Value::reference(v.value());
+    }
+  }
+  return util::Error::make("decode", "bad value tag");
+}
+
+}  // namespace
+
+util::Endian repr_endian(uint16_t code) { return static_cast<Endian>(code >> 8); }
+uint8_t repr_word_bytes(uint16_t code) { return static_cast<uint8_t>(code & 0xff); }
+
+// ------------------------------------------------------------- native ----
+
+Image native_encode(const sim::Machine& saver, std::span<const std::byte> memory) {
+  Image img;
+  img.kind = ImageKind::kNative;
+  img.repr_code = saver.repr_code();
+  img.payload.assign(memory.begin(), memory.end());
+  img.file_bytes = kNativeBaseBytes + memory.size();
+  return img;
+}
+
+util::Result<util::Bytes> native_decode(const Image& image, const sim::Machine& target) {
+  if (image.kind != ImageKind::kNative) {
+    return util::Error::make("kind", "not a native image");
+  }
+  if (image.repr_code != target.repr_code()) {
+    return util::Error::make(
+        "repr-mismatch",
+        "native checkpoint requires an identical machine representation "
+        "(saved repr=" + std::to_string(image.repr_code) +
+            ", target repr=" + std::to_string(target.repr_code()) + ")");
+  }
+  return image.payload;
+}
+
+// ----------------------------------------------------------- portable ----
+
+Image portable_encode(const sim::Machine& saver, const vm::VmState& state) {
+  Image img;
+  img.kind = ImageKind::kPortable;
+  img.repr_code = saver.repr_code();
+
+  Writer w(img.payload, saver.endian);
+  const uint8_t word = saver.word_bytes;
+  w.u32(kPortableMagic);
+  w.u32(static_cast<uint32_t>(state.globals.size()));
+  for (const auto& v : state.globals) put_value(w, v, word);
+  w.u32(static_cast<uint32_t>(state.stack.size()));
+  for (const auto& v : state.stack) put_value(w, v, word);
+  w.u32(static_cast<uint32_t>(state.frames.size()));
+  for (const auto& f : state.frames) {
+    w.u32(f.function);
+    w.u32(f.pc);
+    w.u32(static_cast<uint32_t>(f.locals.size()));
+    for (const auto& v : f.locals) put_value(w, v, word);
+  }
+  w.u32(static_cast<uint32_t>(state.heap.size()));
+  for (const auto& obj : state.heap) {
+    w.u8(static_cast<uint8_t>(obj.kind));
+    if (obj.kind == vm::HeapObject::Kind::kArray) {
+      w.u32(static_cast<uint32_t>(obj.fields.size()));
+      for (const auto& v : obj.fields) put_value(w, v, word);
+    } else {
+      w.bytes(util::as_bytes_view(obj.bytes));
+    }
+  }
+  w.u64(state.steps_executed);
+
+  img.file_bytes = kPortableBaseBytes + img.payload.size();
+  return img;
+}
+
+util::Result<vm::VmState> portable_decode(const Image& image, const sim::Machine& target) {
+  if (image.kind != ImageKind::kPortable) {
+    return util::Error::make("kind", "not a portable image");
+  }
+  const Endian endian = repr_endian(image.repr_code);
+  const uint8_t word = repr_word_bytes(image.repr_code);
+  Reader r(util::as_bytes_view(image.payload), endian);
+
+  auto magic = r.u32();
+  if (!magic) return magic.error();
+  if (magic.value() != kPortableMagic) {
+    return util::Error::make("decode", "bad portable image magic");
+  }
+
+  vm::VmState state;
+  auto n_globals = r.u32();
+  if (!n_globals) return n_globals.error();
+  for (uint32_t i = 0; i < n_globals.value(); ++i) {
+    auto v = get_value(r, word, target);
+    if (!v) return v.error();
+    state.globals.push_back(v.value());
+  }
+  auto n_stack = r.u32();
+  if (!n_stack) return n_stack.error();
+  for (uint32_t i = 0; i < n_stack.value(); ++i) {
+    auto v = get_value(r, word, target);
+    if (!v) return v.error();
+    state.stack.push_back(v.value());
+  }
+  auto n_frames = r.u32();
+  if (!n_frames) return n_frames.error();
+  for (uint32_t i = 0; i < n_frames.value(); ++i) {
+    vm::Frame f;
+    auto fn = r.u32();
+    if (!fn) return fn.error();
+    f.function = fn.value();
+    auto pc = r.u32();
+    if (!pc) return pc.error();
+    f.pc = pc.value();
+    auto n_locals = r.u32();
+    if (!n_locals) return n_locals.error();
+    for (uint32_t k = 0; k < n_locals.value(); ++k) {
+      auto v = get_value(r, word, target);
+      if (!v) return v.error();
+      f.locals.push_back(v.value());
+    }
+    state.frames.push_back(std::move(f));
+  }
+  auto n_heap = r.u32();
+  if (!n_heap) return n_heap.error();
+  for (uint32_t i = 0; i < n_heap.value(); ++i) {
+    vm::HeapObject obj;
+    auto kind = r.u8();
+    if (!kind) return kind.error();
+    obj.kind = static_cast<vm::HeapObject::Kind>(kind.value());
+    if (obj.kind == vm::HeapObject::Kind::kArray) {
+      auto n = r.u32();
+      if (!n) return n.error();
+      for (uint32_t k = 0; k < n.value(); ++k) {
+        auto v = get_value(r, word, target);
+        if (!v) return v.error();
+        obj.fields.push_back(v.value());
+      }
+    } else {
+      auto b = r.bytes();
+      if (!b) return b.error();
+      obj.bytes = std::move(b).take();
+    }
+    state.heap.push_back(std::move(obj));
+  }
+  auto steps = r.u64();
+  if (!steps) return steps.error();
+  state.steps_executed = steps.value();
+  return state;
+}
+
+}  // namespace starfish::ckpt

@@ -1,0 +1,65 @@
+#include "ckpt/incremental.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace starfish::ckpt {
+
+// Delta layout (little-endian): u64 new_total_len; u32 n_pages;
+// n_pages x { u32 page_index; bytes page_data }.
+
+util::Bytes incremental_encode(const util::Bytes& prev, const util::Bytes& cur,
+                               uint64_t* changed_pages) {
+  util::Bytes out;
+  util::Writer w(out);
+  w.u64(cur.size());
+  const size_t n_pages = (cur.size() + kPageBytes - 1) / kPageBytes;
+  // First pass: count; second pass: emit (count prefix keeps decode simple).
+  uint32_t changed = 0;
+  auto page_differs = [&](size_t p) {
+    const size_t off = p * kPageBytes;
+    const size_t len = std::min(kPageBytes, cur.size() - off);
+    if (off >= prev.size()) return true;
+    const size_t prev_len = std::min(kPageBytes, prev.size() - off);
+    if (prev_len != len) return true;
+    return std::memcmp(prev.data() + off, cur.data() + off, len) != 0;
+  };
+  for (size_t p = 0; p < n_pages; ++p) {
+    if (page_differs(p)) ++changed;
+  }
+  w.u32(changed);
+  for (size_t p = 0; p < n_pages; ++p) {
+    if (!page_differs(p)) continue;
+    const size_t off = p * kPageBytes;
+    const size_t len = std::min(kPageBytes, cur.size() - off);
+    w.u32(static_cast<uint32_t>(p));
+    w.bytes({cur.data() + off, len});
+  }
+  if (changed_pages != nullptr) *changed_pages = changed;
+  return out;
+}
+
+util::Result<util::Bytes> incremental_apply(const util::Bytes& base,
+                                            const util::Bytes& delta) {
+  util::Reader r(util::as_bytes_view(delta));
+  auto total = r.u64();
+  if (!total) return total.error();
+  util::Bytes out = base;
+  out.resize(total.value(), std::byte{0});
+  auto n = r.u32();
+  if (!n) return n.error();
+  for (uint32_t i = 0; i < n.value(); ++i) {
+    auto page = r.u32();
+    if (!page) return page.error();
+    auto data = r.bytes();
+    if (!data) return data.error();
+    const size_t off = static_cast<size_t>(page.value()) * kPageBytes;
+    if (off + data.value().size() > out.size()) {
+      return util::Error::make("decode", "incremental delta page beyond state size");
+    }
+    std::memcpy(out.data() + off, data.value().data(), data.value().size());
+  }
+  return out;
+}
+
+}  // namespace starfish::ckpt

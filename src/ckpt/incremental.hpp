@@ -1,0 +1,31 @@
+// Incremental checkpointing (after libckpt [33], discussed in paper §6).
+//
+// Instead of writing the full state every epoch, an incremental image holds
+// only the 4 KB pages that changed since the previous epoch, anchored by a
+// periodic full image. Restores resolve the chain: full image + deltas in
+// epoch order. Checkpoint garbage collection must keep everything back to
+// the most recent full image (the CrModule handles that).
+#pragma once
+
+#include <cstdint>
+
+#include "util/buffer.hpp"
+#include "util/result.hpp"
+
+namespace starfish::ckpt {
+
+constexpr size_t kPageBytes = 4096;
+/// On-disk metadata of an incremental image (page table, headers) — the
+/// "base" cost replacing the full run-time dump.
+constexpr uint64_t kIncrementalBaseBytes = 64ull * 1024;
+
+/// Encodes the pages of `cur` that differ from `prev` (or lie beyond its
+/// end). Optionally reports how many pages changed.
+util::Bytes incremental_encode(const util::Bytes& prev, const util::Bytes& cur,
+                               uint64_t* changed_pages = nullptr);
+
+/// Reconstructs the full state from `base` plus one delta.
+util::Result<util::Bytes> incremental_apply(const util::Bytes& base,
+                                            const util::Bytes& delta);
+
+}  // namespace starfish::ckpt

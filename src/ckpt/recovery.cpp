@@ -1,0 +1,82 @@
+#include "ckpt/recovery.hpp"
+
+#include <algorithm>
+
+namespace starfish::ckpt {
+
+util::Bytes DependencyTracker::encode() const {
+  util::Bytes out;
+  util::Writer w(out);
+  w.u32(rank_);
+  w.u32(interval_);
+  w.u32(static_cast<uint32_t>(received_.size()));
+  for (const auto& r : received_) {
+    w.u32(r.rank);
+    w.u32(r.interval);
+  }
+  return out;
+}
+
+DependencyTracker DependencyTracker::decode(const util::Bytes& bytes) {
+  util::Reader r(util::as_bytes_view(bytes));
+  DependencyTracker t(r.u32().value_or(0));
+  t.interval_ = r.u32().value_or(0);
+  const uint32_t n = r.u32().value_or(0);
+  for (uint32_t i = 0; i < n; ++i) {
+    IntervalId id;
+    id.rank = r.u32().value_or(0);
+    id.interval = r.u32().value_or(0);
+    t.received_.push_back(id);
+  }
+  return t;
+}
+
+std::map<uint32_t, uint32_t> compute_recovery_line(const std::vector<CheckpointMeta>& metas,
+                                                   const std::map<uint32_t, uint32_t>& latest) {
+  // Index metas by (rank, index) for dependency lookups.
+  std::map<std::pair<uint32_t, uint32_t>, const CheckpointMeta*> by_key;
+  for (const auto& m : metas) by_key[{m.rank, m.index}] = &m;
+
+  auto deps_of = [&](uint32_t rank, uint32_t index) -> const std::vector<IntervalId>* {
+    static const std::vector<IntervalId> kEmpty;
+    if (index == 0) return &kEmpty;  // initial state depends on nothing
+    auto it = by_key.find({rank, index});
+    return it == by_key.end() ? &kEmpty : &it->second->depends_on;
+  };
+
+  std::map<uint32_t, uint32_t> line = latest;
+
+  // Fixpoint: while some chosen checkpoint has an orphan dependency, move
+  // that process one checkpoint earlier. Indices only decrease and stop at
+  // 0 (no dependencies), so this terminates.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& [rank, index] : line) {
+      const auto* deps = deps_of(rank, index);
+      for (const auto& d : *deps) {
+        auto it = line.find(d.rank);
+        if (it == line.end()) continue;  // unknown peer: not constrained
+        if (d.interval >= it->second) {
+          // Orphan: the send (interval d.interval of d.rank) would be undone.
+          --index;  // index > 0 here because index 0 has no deps
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  return line;
+}
+
+uint64_t rollback_distance(const std::map<uint32_t, uint32_t>& line,
+                           const std::map<uint32_t, uint32_t>& latest) {
+  uint64_t total = 0;
+  for (const auto& [rank, index] : line) {
+    auto it = latest.find(rank);
+    if (it != latest.end() && it->second > index) total += it->second - index;
+  }
+  return total;
+}
+
+}  // namespace starfish::ckpt

@@ -1,0 +1,78 @@
+#include "ckpt/store.hpp"
+
+#include <cassert>
+
+namespace starfish::ckpt {
+
+void CheckpointStore::put(sim::Host& host, const CkptKey& key, Image image) {
+  const uint64_t bytes = image.file_bytes;
+  if (image.kind == ImageKind::kNative) {
+    engine_.sleep(kNativeDumpSetup);
+    host.disk().write(bytes);
+  } else {
+    host.disk().write_buffered(bytes);
+  }
+  bytes_written_ += bytes;
+  images_[key] = std::move(image);
+}
+
+std::optional<Image> CheckpointStore::get(sim::Host& host, const CkptKey& key) {
+  auto it = images_.find(key);
+  if (it == images_.end()) return std::nullopt;
+  host.disk().read(it->second.file_bytes);
+  return it->second;
+}
+
+std::optional<uint64_t> CheckpointStore::file_bytes(const CkptKey& key) const {
+  auto it = images_.find(key);
+  if (it == images_.end()) return std::nullopt;
+  return it->second.file_bytes;
+}
+
+void CheckpointStore::commit(const std::string& app, uint64_t epoch) {
+  // Monotone: a stale commit (e.g. from a coordinator that was about to die)
+  // never moves the recovery line backwards.
+  auto it = committed_.find(app);
+  if (it == committed_.end() || it->second < epoch) committed_[app] = epoch;
+  commit_times_.emplace(std::make_pair(app, epoch), engine_.now());
+}
+
+void CheckpointStore::note_begin(const std::string& app, uint64_t epoch) {
+  begin_times_.emplace(std::make_pair(app, epoch), engine_.now());  // first note wins
+}
+
+std::optional<sim::Duration> CheckpointStore::epoch_duration(const std::string& app,
+                                                             uint64_t epoch) const {
+  auto b = begin_times_.find({app, epoch});
+  auto c = commit_times_.find({app, epoch});
+  if (b == begin_times_.end() || c == commit_times_.end()) return std::nullopt;
+  return c->second - b->second;
+}
+
+std::optional<uint64_t> CheckpointStore::latest_committed(const std::string& app) const {
+  auto it = committed_.find(app);
+  if (it == committed_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<uint64_t> CheckpointStore::latest_stored(const std::string& app,
+                                                       uint32_t rank) const {
+  std::optional<uint64_t> best;
+  for (const auto& [key, image] : images_) {
+    if (key.app == app && key.rank == rank) {
+      if (!best || key.epoch > *best) best = key.epoch;
+    }
+  }
+  return best;
+}
+
+size_t CheckpointStore::gc(const std::string& app, uint64_t keep_epoch) {
+  std::erase_if(metas_, [&](const auto& entry) {
+    return entry.first.app == app && entry.first.epoch < keep_epoch;
+  });
+  return std::erase_if(images_, [&](const auto& entry) {
+    return entry.first.app == app && entry.first.epoch < keep_epoch;
+  });
+}
+
+}  // namespace starfish::ckpt

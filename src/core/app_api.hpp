@@ -1,0 +1,93 @@
+// The application-facing API: what user code (native C++ apps) programs
+// against, and the registry mapping job "binaries" to runnable code.
+//
+// Starfish extends standard MPI with upcalls and downcalls (paper section 1):
+// every upcall has a default (ignore), so unmodified MPI-style programs run
+// as-is; programs that use the extensions gain view notifications, user-
+// initiated checkpointing, and restart awareness.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mpi/comm.hpp"
+#include "util/buffer.hpp"
+#include "vm/bytecode.hpp"
+
+namespace starfish::core {
+
+class ApplicationProcess;
+
+/// Handed to native application functions. Valid only for the app's run.
+class AppContext {
+ public:
+  explicit AppContext(ApplicationProcess& process) : process_(process) {}
+
+  uint32_t rank() const;
+  uint32_t size() const;
+  /// COMM_WORLD. Standard MPI operations (send/recv/collectives) live here.
+  mpi::Comm& world();
+  sim::Engine& engine();
+  const std::vector<std::string>& args() const;
+
+  /// Emits one line of application output (collected by the daemon).
+  void print(const std::string& text);
+  /// Models `duration` of pure computation; periodically yields so the C/R
+  /// and suspend gates can take effect.
+  void compute(sim::Duration duration);
+  /// Checkpoint/suspend gate: call between work units in long loops.
+  void progress();
+
+  // --- Starfish extension downcalls ---
+  /// User-initiated checkpoint (returns once the local part is done for
+  /// uncoordinated; once initiated for coordinated protocols).
+  void request_checkpoint();
+  /// MPI-2 dynamic process management: asks Starfish to add `extra`
+  /// processes to this application. The grown world arrives asynchronously:
+  /// size() grows and the view handler fires once the new ranks are wired.
+  void spawn_ranks(uint32_t extra);
+
+  // --- Starfish extension upcalls (defaults: ignored) ---
+  /// Called when the live-rank set changes (FtPolicy::kNotifyViews).
+  void set_view_handler(std::function<void(const std::vector<uint32_t>& live_ranks)> fn);
+  /// State hooks used by native-level C/R: capture must return a blob the
+  /// restore hook can resume from at a communication boundary.
+  void set_state_capture(std::function<util::Bytes()> fn);
+  void set_state_restore(std::function<void(const util::Bytes&)> fn);
+  /// True when this run was restored from a checkpoint (the restore hook has
+  /// already been invoked with the saved blob).
+  bool restored() const;
+
+ private:
+  ApplicationProcess& process_;
+};
+
+using NativeAppFn = std::function<void(AppContext&)>;
+
+/// Maps JobSpec::binary to runnable code: either a native C++ function or an
+/// assembled VM program.
+class AppRegistry {
+ public:
+  void register_native(const std::string& name, NativeAppFn fn) {
+    native_[name] = std::move(fn);
+  }
+  /// Assembles and registers a VM program (asserts on assembly errors).
+  void register_vm(const std::string& name, const std::string& asm_source);
+
+  const NativeAppFn* native(const std::string& name) const {
+    auto it = native_.find(name);
+    return it == native_.end() ? nullptr : &it->second;
+  }
+  const vm::Program* program(const std::string& name) const {
+    auto it = vm_.find(name);
+    return it == vm_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  std::map<std::string, NativeAppFn> native_;
+  std::map<std::string, vm::Program> vm_;
+};
+
+}  // namespace starfish::core

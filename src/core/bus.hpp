@@ -1,0 +1,63 @@
+// The object bus (paper section 2.2).
+//
+// Modules inside an application process — group handler, application module,
+// checkpoint/restart module, MPI module — communicate by posting events that
+// invoke the handlers of every listening module. The bus decouples the
+// modules completely and allows one event to fan out to several listeners.
+// Data messages deliberately do NOT travel on the bus: they use the fast
+// path between the application module and the MPI module (mpi::Proc).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "daemon/wire.hpp"
+
+namespace starfish::core {
+
+enum class EventKind : uint8_t {
+  kConfigure = 0,       ///< world wiring arrived (payload: LinkMsg)
+  kAppView,             ///< dynamicity upcall: live-rank set changed
+  kCoord,               ///< opaque coordination payload (C/R protocol traffic)
+  kSuspend,
+  kResume,
+  kCheckpointRequest,   ///< user downcall: take a checkpoint now
+  kCheckpointDone,      ///< C/R module finished an epoch
+  kTerminate,
+};
+
+struct Event {
+  EventKind kind = EventKind::kCoord;
+  daemon::LinkMsg link;   ///< original link message for link-derived events
+  uint64_t value = 0;     ///< e.g. the epoch for kCheckpointDone
+};
+
+/// Synchronous pub/sub: post() invokes every listener of the event's kind in
+/// subscription order, on the caller's fiber.
+class ObjectBus {
+ public:
+  using Handler = std::function<void(const Event&)>;
+
+  void subscribe(EventKind kind, Handler handler) {
+    listeners_[kind].push_back(std::move(handler));
+  }
+
+  void post(const Event& event) {
+    auto it = listeners_.find(event.kind);
+    if (it == listeners_.end()) return;
+    // Iterate over a copy: handlers may subscribe further listeners.
+    auto handlers = it->second;
+    for (auto& h : handlers) h(event);
+    ++events_posted_;
+  }
+
+  uint64_t events_posted() const { return events_posted_; }
+
+ private:
+  std::map<EventKind, std::vector<Handler>> listeners_;
+  uint64_t events_posted_ = 0;
+};
+
+}  // namespace starfish::core

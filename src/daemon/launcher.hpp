@@ -1,0 +1,46 @@
+// Interface the daemon uses to spawn and talk to application processes.
+// Implemented by starfish::core (which assembles the real application
+// process); tests may implement fakes.
+//
+// The daemon<->process link models the paper's local TCP connection between
+// the lightweight endpoint module and the process's group handler: both
+// directions are queued callbacks with a small loopback delay, FIFO per
+// direction.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "daemon/wire.hpp"
+#include "sim/host.hpp"
+
+namespace starfish::daemon {
+
+class ProcessHandle {
+ public:
+  virtual ~ProcessHandle() = default;
+  /// Daemon -> process message (already delayed by the link model).
+  virtual void deliver(const LinkMsg& msg) = 0;
+  /// Hard-kill the process (its node stays up).
+  virtual void terminate() = 0;
+  virtual bool alive() const = 0;
+};
+
+struct LaunchRequest {
+  JobSpec job;
+  uint32_t rank = 0;
+  uint32_t wiring_epoch = 1;
+  uint64_t restore_epoch = kNoRestore;
+};
+
+class ProcessLauncher {
+ public:
+  virtual ~ProcessLauncher() = default;
+  /// Starts an application process on `host`. `uplink` carries process ->
+  /// daemon messages (the daemon wraps it with the link delay).
+  virtual std::unique_ptr<ProcessHandle> launch(
+      sim::Host& host, const LaunchRequest& request,
+      std::function<void(const LinkMsg&)> uplink) = 0;
+};
+
+}  // namespace starfish::daemon

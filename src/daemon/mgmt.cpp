@@ -1,0 +1,241 @@
+// The ASCII management/user protocol (paper section 3.1.1).
+//
+// Clients (including the Java GUI the paper describes, replaced here by
+// examples/management_cli) open a TCP connection to any daemon and speak a
+// line-oriented text protocol. A session starts with LOGIN, identifying
+// itself as a management (ADMIN) or user (USER) session; management sessions
+// may reconfigure the cluster, user sessions are limited to submitting and
+// controlling their own applications.
+#include "daemon/daemon.hpp"
+#include "util/strings.hpp"
+
+namespace starfish::daemon {
+
+namespace {
+
+util::Bytes line_bytes(const std::string& s) {
+  return util::Bytes(reinterpret_cast<const std::byte*>(s.data()),
+                     reinterpret_cast<const std::byte*>(s.data() + s.size()));
+}
+
+std::string line_text(const util::Bytes& b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+}  // namespace
+
+void Daemon::accept_loop() {
+  for (;;) {
+    auto r = mgmt_acceptor_->accept();
+    if (!r.ok()) return;  // daemon shutdown or host crash
+    auto conn = *r.value;
+    host_.spawn("mgmt-session", [this, conn] { serve_session(conn); });
+  }
+}
+
+void Daemon::serve_session(net::ConnectionPtr conn) {
+  bool admin = false;
+  bool logged_in = false;
+  bool quit = false;
+  std::string user;
+  conn->send(line_bytes("STARFISH " + std::to_string(host_.id()) + " READY"));
+  while (!quit) {
+    auto r = conn->recv();
+    if (!r.ok()) break;
+    const std::string line = line_text(*r.value);
+    const std::string reply = handle_command(line, admin, logged_in, user, quit);
+    if (!conn->send(line_bytes(reply))) break;
+  }
+  conn->close();
+}
+
+std::string Daemon::handle_command(const std::string& line, bool& admin, bool& logged_in,
+                                   std::string& user, bool& quit) {
+  auto tokens = util::split_ws(line);
+  if (tokens.empty()) return "ERR empty command";
+  const std::string cmd = util::to_upper(tokens[0]);
+
+  if (cmd == "QUIT") {
+    quit = true;
+    return "OK bye";
+  }
+
+  if (cmd == "LOGIN") {
+    // LOGIN <user> <password> [ADMIN|USER]
+    if (tokens.size() < 3) return "ERR usage: LOGIN user password [ADMIN|USER]";
+    const bool wants_admin = tokens.size() >= 4 && util::to_upper(tokens[3]) == "ADMIN";
+    if (wants_admin && tokens[2] != config_.admin_password) {
+      return "ERR bad admin credentials";
+    }
+    user = tokens[1];
+    admin = wants_admin;
+    logged_in = true;
+    return std::string("OK session ") + (admin ? "management" : "user");
+  }
+
+  if (!logged_in) return "ERR login first";
+
+  if (cmd == "SUBMIT") {
+    // SUBMIT <name> <binary> <nprocs> [POLICY=kill|restart|notify]
+    //        [PROTOCOL=none|sync|cl|unco] [LEVEL=native|vm] [INTERVAL_MS=n]
+    if (tokens.size() < 4) return "ERR usage: SUBMIT name binary nprocs [opts]";
+    JobSpec job;
+    job.name = tokens[1];
+    job.binary = tokens[2];
+    auto n = util::parse_int(tokens[3]);
+    if (!n || *n < 1) return "ERR bad nprocs";
+    job.nprocs = static_cast<uint32_t>(*n);
+    job.owner = user;
+    for (size_t i = 4; i < tokens.size(); ++i) {
+      auto kv = util::split(tokens[i], '=');
+      if (kv.size() != 2) return "ERR bad option '" + tokens[i] + "'";
+      const std::string key = util::to_upper(kv[0]);
+      const std::string val = util::to_lower(kv[1]);
+      if (key == "POLICY") {
+        if (val == "kill") {
+          job.policy = FtPolicy::kKill;
+        } else if (val == "restart") {
+          job.policy = FtPolicy::kRestart;
+        } else if (val == "notify") {
+          job.policy = FtPolicy::kNotifyViews;
+        } else {
+          return "ERR unknown policy";
+        }
+      } else if (key == "PROTOCOL") {
+        if (val == "none") {
+          job.protocol = CrProtocol::kNone;
+        } else if (val == "sync") {
+          job.protocol = CrProtocol::kStopAndSync;
+        } else if (val == "cl") {
+          job.protocol = CrProtocol::kChandyLamport;
+        } else if (val == "unco") {
+          job.protocol = CrProtocol::kUncoordinated;
+        } else {
+          return "ERR unknown protocol";
+        }
+      } else if (key == "LEVEL") {
+        if (val == "native") {
+          job.level = CkptLevel::kNative;
+        } else if (val == "vm") {
+          job.level = CkptLevel::kVm;
+        } else {
+          return "ERR unknown level";
+        }
+      } else if (key == "INTERVAL_MS") {
+        auto ms = util::parse_int(val);
+        if (!ms || *ms < 0) return "ERR bad interval";
+        job.ckpt_interval = sim::milliseconds(*ms);
+      } else {
+        return "ERR unknown option '" + key + "'";
+      }
+    }
+    if (apps_.contains(job.name)) return "ERR job name in use";
+    submit(job);
+    return "OK submitted " + job.name;
+  }
+
+  if (cmd == "PS") {
+    std::string out = "OK " + std::to_string(apps_.size()) + " job(s)";
+    for (const auto& [name, state] : apps_) {
+      out += "\n" + name + " " + state.job.binary + " np=" +
+             std::to_string(state.job.nprocs) + " " + phase_name(state.phase) + " policy=" +
+             policy_name(state.job.policy) + " owner=" + state.job.owner;
+    }
+    return out;
+  }
+
+  if (cmd == "STATUS") {
+    if (tokens.size() != 2) return "ERR usage: STATUS name";
+    auto it = apps_.find(tokens[1]);
+    if (it == apps_.end()) return "ERR no such job";
+    const AppState& s = it->second;
+    std::string out = "OK " + tokens[1] + " phase=" + phase_name(s.phase) +
+                      " done=" + std::to_string(s.done_ranks.size()) + "/" +
+                      std::to_string(s.job.nprocs) +
+                      " restarts=" + std::to_string(s.restart_count);
+    if (s.hosting) {
+      out += " local_ranks=";
+      bool first = true;
+      for (const auto& [rank, proc] : s.locals) {
+        if (!first) out += ",";
+        out += std::to_string(rank);
+        first = false;
+      }
+    }
+    return out;
+  }
+
+  if (cmd == "NODES") {
+    std::string out = "OK " + std::to_string(last_heavy_view_.members.size()) + " node(s)";
+    for (const auto& m : last_heavy_view_.members) {
+      out += "\nhost" + std::to_string(m.id.host) +
+             (node_enabled(m.id.host) ? " enabled" : " disabled") +
+             (m.id == group_->self() ? " *" : "");
+    }
+    return out;
+  }
+
+  // The remaining commands mutate application or cluster state.
+  auto check_owner = [&](const std::string& app) -> std::optional<std::string> {
+    auto it = apps_.find(app);
+    if (it == apps_.end()) return "ERR no such job";
+    if (!admin && it->second.job.owner != user) return "ERR not your job";
+    return std::nullopt;
+  };
+
+  if (cmd == "SUSPEND" || cmd == "RESUME" || cmd == "DELETE") {
+    if (tokens.size() != 2) return "ERR usage: " + cmd + " name";
+    if (auto err = check_owner(tokens[1])) return *err;
+    if (cmd == "SUSPEND") suspend_app(tokens[1]);
+    if (cmd == "RESUME") resume_app(tokens[1]);
+    if (cmd == "DELETE") delete_app(tokens[1]);
+    return "OK " + util::to_lower(cmd) + " requested";
+  }
+
+  if (cmd == "SET") {
+    if (!admin) return "ERR management session required";
+    if (tokens.size() != 3) return "ERR usage: SET key value";
+    set_config(tokens[1], tokens[2]);
+    return "OK set requested";
+  }
+
+  if (cmd == "GET") {
+    if (tokens.size() != 2) return "ERR usage: GET key";
+    auto v = get_config(tokens[1]);
+    return v ? "OK " + *v : "ERR unset";
+  }
+
+  if (cmd == "MIGRATE") {
+    // MIGRATE <app> <rank> <dest-node> — admin or owner; requires a
+    // coordinated C/R protocol and must be issued to a hosting daemon.
+    if (tokens.size() != 4) return "ERR usage: MIGRATE app rank node";
+    if (auto err = check_owner(tokens[1])) return *err;
+    auto rank = util::parse_int(tokens[2]);
+    auto node = util::parse_int(tokens[3]);
+    if (!rank || *rank < 0 || !node || *node < 0) return "ERR bad rank or node";
+    auto it = apps_.find(tokens[1]);
+    if (!it->second.hosting) return "ERR not hosted on this daemon; connect to a hosting node";
+    migrate(tokens[1], static_cast<uint32_t>(*rank), static_cast<sim::HostId>(*node));
+    return "OK migration started";
+  }
+
+  if (cmd == "NODE") {
+    if (!admin) return "ERR management session required";
+    if (tokens.size() != 3) return "ERR usage: NODE ENABLE|DISABLE id";
+    auto id = util::parse_int(tokens[2]);
+    if (!id || *id < 0) return "ERR bad node id";
+    const std::string action = util::to_upper(tokens[1]);
+    if (action == "ENABLE") {
+      node_ctl(static_cast<sim::HostId>(*id), true);
+    } else if (action == "DISABLE") {
+      node_ctl(static_cast<sim::HostId>(*id), false);
+    } else {
+      return "ERR usage: NODE ENABLE|DISABLE id";
+    }
+    return "OK node control requested";
+  }
+
+  return "ERR unknown command '" + cmd + "'";
+}
+
+}  // namespace starfish::daemon

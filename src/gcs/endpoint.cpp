@@ -1,0 +1,495 @@
+#include "gcs/endpoint.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/log.hpp"
+
+namespace starfish::gcs {
+
+namespace {
+constexpr const char* kLog = "gcs";
+
+std::pair<uint64_t, uint32_t> marker(uint64_t view_id, uint32_t attempt) {
+  return {view_id, attempt};
+}
+}  // namespace
+
+std::string View::to_string() const {
+  std::string s = "view" + std::to_string(view_id) + "{";
+  for (size_t i = 0; i < members.size(); ++i) {
+    if (i) s += ",";
+    s += members[i].id.to_string();
+  }
+  return s + "}";
+}
+
+GroupEndpoint::GroupEndpoint(net::Network& net, sim::Host& host, GroupConfig config,
+                             Callbacks callbacks)
+    : net_(net),
+      host_(host),
+      config_(config),
+      callbacks_(std::move(callbacks)),
+      self_{host.id(), host.incarnation()},
+      endpoint_(net.bind(host.id(), config.control_port, config.transport)) {}
+
+GroupEndpoint::~GroupEndpoint() { shutdown(); }
+
+void GroupEndpoint::shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  endpoint_->close();
+}
+
+void GroupEndpoint::start_founding(const std::vector<net::NetAddr>& founders) {
+  View v;
+  v.view_id = 1;
+  for (size_t i = 0; i < founders.size(); ++i) {
+    v.members.push_back(Member{MemberId{founders[i].host, 0}, static_cast<uint32_t>(i),
+                               founders[i]});
+  }
+  assert(v.contains(self_) && "founding list must include this endpoint");
+  view_ = v;
+  in_view_ = true;
+  change_view_id_ = v.view_id;
+  change_attempt_ = 0;
+  const sim::Time now = net_.engine().now();
+  for (const auto& m : view_.members) last_heard_[m.id] = now;
+  views_installed_ = 1;
+
+  rx_fiber_ = host_.spawn("gcs-rx", [this] {
+    if (callbacks_.on_view) callbacks_.on_view(view_);
+    rx_loop();
+  });
+  tick_fiber_ = host_.spawn("gcs-tick", [this] { tick_loop(); });
+}
+
+void GroupEndpoint::start_joining(const std::vector<net::NetAddr>& seeds) {
+  join_seeds_ = seeds;
+  rx_fiber_ = host_.spawn("gcs-rx", [this] { rx_loop(); });
+  tick_fiber_ = host_.spawn("gcs-tick", [this] { tick_loop(); });
+}
+
+void GroupEndpoint::leave() {
+  if (!in_view_ || leaving_) return;
+  leaving_ = true;
+  if (is_coordinator()) {
+    leavers_.insert(self_);
+    if (phase_ == Phase::kNormal) initiate_change();
+    return;
+  }
+  WireMsg msg = base_msg(MsgKind::kLeaveReq);
+  send_to_member(view_.coordinator(), msg);
+}
+
+void GroupEndpoint::multicast(util::Bytes payload) {
+  const uint64_t id = ++next_msg_id_;
+  pending_.emplace_back(id, payload);
+  if (in_view_ && phase_ == Phase::kNormal) {
+    WireMsg msg = base_msg(MsgKind::kOrderReq);
+    msg.msg_id = id;
+    msg.payload = std::move(payload);
+    send_to_member(view_.coordinator(), msg);
+  }
+  // Otherwise held; resend_pending() submits it after the next install.
+}
+
+// ------------------------------------------------------------- fibers ----
+
+void GroupEndpoint::rx_loop() {
+  for (;;) {
+    auto r = endpoint_->recv();
+    if (!r.ok()) return;  // endpoint closed: shutdown or host crash
+    auto decoded = WireMsg::decode(r.value->payload);
+    if (!decoded.ok()) {
+      STARFISH_LOG(kWarn, kLog) << self_.to_string()
+                                << " dropping undecodable control message: "
+                                << decoded.error().to_string();
+      continue;
+    }
+    handle(decoded.value());
+  }
+}
+
+void GroupEndpoint::tick_loop() {
+  while (!shut_down_) {
+    net_.engine().sleep(config_.heartbeat_period);
+    if (shut_down_) return;
+    const sim::Time now = net_.engine().now();
+
+    if (!in_view_) {
+      if (!join_seeds_.empty() && !leaving_) {
+        WireMsg msg = base_msg(MsgKind::kJoinReq);
+        for (const auto& seed : join_seeds_) {
+          if (seed != addr()) send_to(seed, msg);
+        }
+      }
+      continue;
+    }
+
+    // Heartbeats to every other member, advertising our delivery progress
+    // so peers can garbage-collect stable messages.
+    WireMsg hb = base_msg(MsgKind::kHeartbeat);
+    hb.delivered = delivered_gseq_;
+    for (const auto& m : view_.members) {
+      if (m.id != self_) send_to_member(m, hb);
+    }
+    check_failures();
+
+    // Flush stuck? The change coordinator must have died mid-change.
+    if (phase_ == Phase::kFlushing && now > flush_deadline_) {
+      if (change_coordinator_ != self_) suspects_.insert(change_coordinator_);
+      maybe_initiate_change();
+    }
+
+    // Admit pending joiners / process leavers when quiescent.
+    if (phase_ == Phase::kNormal && is_coordinator() &&
+        (!joiners_.empty() || !leavers_.empty())) {
+      initiate_change();
+    }
+  }
+}
+
+void GroupEndpoint::check_failures() {
+  const sim::Time now = net_.engine().now();
+  bool new_suspicion = false;
+  for (const auto& m : view_.members) {
+    if (m.id == self_) continue;
+    auto it = last_heard_.find(m.id);
+    const sim::Time heard = it == last_heard_.end() ? 0 : it->second;
+    if (now - heard > config_.suspect_timeout && !suspects_.contains(m.id)) {
+      suspects_.insert(m.id);
+      new_suspicion = true;
+      STARFISH_LOG(kInfo, kLog) << self_.to_string() << " suspects " << m.id.to_string();
+    }
+  }
+  if (new_suspicion) maybe_initiate_change();
+}
+
+void GroupEndpoint::maybe_initiate_change() {
+  if (!in_view_) return;
+  // Only the lowest-ranked unsuspected member drives a change.
+  const Member* leader = nullptr;
+  for (const auto& m : view_.members) {
+    if (!suspects_.contains(m.id)) {
+      leader = &m;
+      break;
+    }
+  }
+  if (leader == nullptr || leader->id != self_) return;
+  bool needed = !joiners_.empty() || !leavers_.empty();
+  for (const auto& m : view_.members) {
+    if (suspects_.contains(m.id)) needed = true;
+  }
+  if (phase_ == Phase::kFlushing && change_coordinator_ == self_ &&
+      net_.engine().now() <= flush_deadline_) {
+    return;  // our own change is still in progress
+  }
+  if (needed) initiate_change();
+}
+
+void GroupEndpoint::initiate_change() {
+  change_view_id_ = view_.view_id + 1;
+  ++change_attempt_;
+  change_coordinator_ = self_;
+  phase_ = Phase::kFlushing;
+  flush_deadline_ = net_.engine().now() + config_.flush_timeout;
+
+  // Snapshot the joiners/leavers this change covers; requests arriving
+  // during the flush are kept for the next change.
+  change_joiners_ = joiners_;
+  change_leavers_ = leavers_;
+
+  // New membership: survivors minus leavers plus joiners.
+  proposed_members_.clear();
+  uint32_t max_rank = 0;
+  for (const auto& m : view_.members) {
+    max_rank = std::max(max_rank, m.rank);
+    if (suspects_.contains(m.id) || change_leavers_.contains(m.id)) continue;
+    proposed_members_.push_back(m);
+  }
+  std::vector<std::pair<MemberId, net::NetAddr>> joiners(change_joiners_.begin(),
+                                                         change_joiners_.end());
+  for (size_t i = 0; i < joiners.size(); ++i) {
+    proposed_members_.push_back(
+        Member{joiners[i].first, max_rank + 1 + static_cast<uint32_t>(i), joiners[i].second});
+  }
+
+  // Everyone alive in the old view must flush (including departing leavers —
+  // they may hold messages the survivors still need).
+  flush_waiting_.clear();
+  for (const auto& m : view_.members) {
+    if (m.id == self_ || suspects_.contains(m.id)) continue;
+    flush_waiting_.insert(m.id);
+  }
+  flush_min_delivered_ = delivered_gseq_;
+
+  WireMsg prep = base_msg(MsgKind::kPrepare);
+  prep.view_id = change_view_id_;
+  prep.attempt = change_attempt_;
+  prep.members = proposed_members_;
+  prep.coord_delivered = delivered_gseq_;
+  for (const auto& m : view_.members) {
+    if (flush_waiting_.contains(m.id)) send_to_member(m, prep);
+  }
+  STARFISH_LOG(kInfo, kLog) << self_.to_string() << " initiating view "
+                            << change_view_id_ << " attempt " << change_attempt_;
+  finish_change_if_ready();  // no peers to wait for on a 1-member group
+}
+
+void GroupEndpoint::finish_change_if_ready() {
+  if (!self_is_change_coordinator() || !flush_waiting_.empty()) return;
+
+  // Everything any survivor delivered is now in our log (virtual synchrony).
+  deliver_ready();
+
+  std::vector<OrderedMsg> retransmit;
+  for (const auto& [gseq, om] : delivered_) {
+    if (gseq > flush_min_delivered_) retransmit.push_back(om);
+  }
+
+  WireMsg inst = base_msg(MsgKind::kInstall);
+  inst.view_id = change_view_id_;
+  inst.attempt = change_attempt_;
+  inst.members = proposed_members_;
+  inst.retransmit = retransmit;
+
+  // Old members (and leavers) get the plain install; joiners also receive
+  // the replicated-state snapshot.
+  util::Bytes state;
+  if (!change_joiners_.empty() && callbacks_.get_state) state = callbacks_.get_state();
+  for (const auto& m : proposed_members_) {
+    if (m.id == self_) continue;
+    if (change_joiners_.contains(m.id)) {
+      WireMsg with_state = inst;
+      with_state.has_state = true;
+      with_state.state = state;
+      send_to_member(m, with_state);
+    } else {
+      send_to_member(m, inst);
+    }
+  }
+  // Departing leavers learn they are out.
+  for (const auto& m : view_.members) {
+    if (change_leavers_.contains(m.id) && m.id != self_) send_to_member(m, inst);
+  }
+
+  for (const auto& [id, a] : change_joiners_) joiners_.erase(id);
+  for (const auto& id : change_leavers_) leavers_.erase(id);
+  change_joiners_.clear();
+  change_leavers_.clear();
+  install_view(View{change_view_id_, proposed_members_}, {});
+}
+
+// ------------------------------------------------------------ handlers ----
+
+void GroupEndpoint::handle(const WireMsg& msg) {
+  switch (msg.kind) {
+    case MsgKind::kHeartbeat: handle_heartbeat(msg); break;
+    case MsgKind::kJoinReq: handle_join_req(msg); break;
+    case MsgKind::kLeaveReq: handle_leave_req(msg); break;
+    case MsgKind::kOrderReq: handle_order_req(msg); break;
+    case MsgKind::kOrder: handle_order(msg); break;
+    case MsgKind::kPrepare: handle_prepare(msg); break;
+    case MsgKind::kFlushOk: handle_flush_ok(msg); break;
+    case MsgKind::kInstall: handle_install(msg); break;
+  }
+}
+
+void GroupEndpoint::handle_heartbeat(const WireMsg& msg) {
+  last_heard_[msg.from] = net_.engine().now();
+  // Stability garbage collection: a message every view member has delivered
+  // can never be requested during a flush, so drop it from the log.
+  peer_delivered_[msg.from] = std::max(peer_delivered_[msg.from], msg.delivered);
+  if (phase_ != Phase::kNormal) return;
+  uint64_t stable = delivered_gseq_;
+  for (const auto& m : view_.members) {
+    if (m.id == self_) continue;
+    auto it = peer_delivered_.find(m.id);
+    stable = std::min(stable, it == peer_delivered_.end() ? 0 : it->second);
+  }
+  if (stable > 0) delivered_.erase(delivered_.begin(), delivered_.lower_bound(stable));
+}
+
+void GroupEndpoint::handle_join_req(const WireMsg& msg) {
+  if (!in_view_ || !is_coordinator()) return;
+  if (view_.contains(msg.from) || joiners_.contains(msg.from)) return;
+  joiners_[msg.from] = msg.from_addr;
+  STARFISH_LOG(kInfo, kLog) << self_.to_string() << " join request from "
+                            << msg.from.to_string();
+  if (phase_ == Phase::kNormal) initiate_change();
+}
+
+void GroupEndpoint::handle_leave_req(const WireMsg& msg) {
+  if (!in_view_ || !is_coordinator()) return;
+  if (!view_.contains(msg.from)) return;
+  leavers_.insert(msg.from);
+  if (phase_ == Phase::kNormal) initiate_change();
+}
+
+void GroupEndpoint::handle_order_req(const WireMsg& msg) {
+  if (!in_view_ || !is_coordinator() || phase_ != Phase::kNormal) return;
+  if (!view_.contains(msg.from)) return;
+  // Idempotent re-sequencing after view changes: skip anything this origin
+  // already had sequenced or delivered.
+  auto seq_it = last_sequenced_msg_id_.find(msg.from);
+  if (seq_it != last_sequenced_msg_id_.end() && msg.msg_id <= seq_it->second) return;
+  auto del_it = last_delivered_msg_id_.find(msg.from);
+  if (del_it != last_delivered_msg_id_.end() && msg.msg_id <= del_it->second) return;
+  sequence_and_fanout(msg.from, msg.msg_id, msg.payload);
+}
+
+void GroupEndpoint::sequence_and_fanout(MemberId origin, uint64_t msg_id, util::Bytes payload) {
+  last_sequenced_msg_id_[origin] = msg_id;
+  WireMsg order = base_msg(MsgKind::kOrder);
+  order.gseq = ++next_gseq_;
+  order.origin = origin;
+  order.msg_id = msg_id;
+  order.payload = std::move(payload);
+  // Note: no blocking point inside this fan-out, so it is atomic with
+  // respect to crashes of this coordinator — all live members receive it.
+  for (const auto& m : view_.members) send_to_member(m, order);
+}
+
+void GroupEndpoint::handle_order(const WireMsg& msg) {
+  if (!in_view_ || phase_ != Phase::kNormal) return;
+  if (msg.gseq <= delivered_gseq_) return;  // duplicate
+  OrderedMsg om{msg.gseq, msg.origin, msg.msg_id, msg.payload};
+  holdback_[om.gseq] = std::move(om);
+  deliver_ready();
+}
+
+void GroupEndpoint::deliver_ready() {
+  for (auto it = holdback_.begin();
+       it != holdback_.end() && it->first == delivered_gseq_ + 1; it = holdback_.begin()) {
+    OrderedMsg om = std::move(it->second);
+    holdback_.erase(it);
+    deliver(om);
+  }
+}
+
+void GroupEndpoint::deliver(const OrderedMsg& msg) {
+  delivered_gseq_ = msg.gseq;
+  delivered_[msg.gseq] = msg;
+  auto& last = last_delivered_msg_id_[msg.origin];
+  last = std::max(last, msg.msg_id);
+  if (msg.origin == self_) {
+    while (!pending_.empty() && pending_.front().first <= msg.msg_id) pending_.pop_front();
+  }
+  ++messages_delivered_;
+  if (callbacks_.on_message) callbacks_.on_message(msg.origin, msg.payload);
+}
+
+void GroupEndpoint::handle_prepare(const WireMsg& msg) {
+  if (marker(msg.view_id, msg.attempt) <= marker(change_view_id_, change_attempt_)) return;
+  if (!in_view_) return;
+  phase_ = Phase::kFlushing;
+  change_view_id_ = msg.view_id;
+  change_attempt_ = msg.attempt;
+  change_coordinator_ = msg.from;
+  flush_deadline_ = net_.engine().now() + config_.flush_timeout;
+
+  WireMsg flush = base_msg(MsgKind::kFlushOk);
+  flush.view_id = msg.view_id;
+  flush.attempt = msg.attempt;
+  flush.delivered = delivered_gseq_;
+  for (const auto& [gseq, om] : delivered_) {
+    if (gseq > msg.coord_delivered) flush.buffered.push_back(om);
+  }
+  send_to(msg.from_addr, flush);
+}
+
+void GroupEndpoint::handle_flush_ok(const WireMsg& msg) {
+  if (!self_is_change_coordinator()) return;
+  if (msg.view_id != change_view_id_ || msg.attempt != change_attempt_) return;
+  if (!flush_waiting_.contains(msg.from)) return;
+  flush_waiting_.erase(msg.from);
+  flush_min_delivered_ = std::min(flush_min_delivered_, msg.delivered);
+  for (const auto& om : msg.buffered) {
+    if (om.gseq > delivered_gseq_ && !holdback_.contains(om.gseq)) holdback_[om.gseq] = om;
+  }
+  deliver_ready();
+  finish_change_if_ready();
+}
+
+void GroupEndpoint::handle_install(const WireMsg& msg) {
+  if (msg.view_id <= view_.view_id) return;  // stale
+  // Complete the old view: deliver the retransmission tail in order.
+  for (const auto& om : msg.retransmit) {
+    if (om.gseq > delivered_gseq_ && !holdback_.contains(om.gseq)) holdback_[om.gseq] = om;
+  }
+  if (in_view_) deliver_ready();
+
+  if (msg.has_state && callbacks_.set_state) callbacks_.set_state(msg.state);
+
+  View v{msg.view_id, msg.members};
+  if (!v.contains(self_)) {
+    // Excluded: we asked to leave (or were cut off). Stop participating.
+    in_view_ = false;
+    phase_ = Phase::kNormal;
+    change_view_id_ = msg.view_id;
+    change_attempt_ = msg.attempt;
+    if (callbacks_.on_view) callbacks_.on_view(v);
+    return;
+  }
+  install_view(v, msg.retransmit);
+}
+
+void GroupEndpoint::install_view(const View& v, const std::vector<OrderedMsg>&) {
+  view_ = v;
+  in_view_ = true;
+  delivered_gseq_ = 0;
+  next_gseq_ = 0;
+  holdback_.clear();
+  delivered_.clear();
+  last_sequenced_msg_id_ = last_delivered_msg_id_;
+  phase_ = Phase::kNormal;
+  change_view_id_ = v.view_id;
+  change_attempt_ = 0;
+  suspects_.clear();
+  last_heard_.clear();
+  peer_delivered_.clear();
+  const sim::Time now = net_.engine().now();
+  for (const auto& m : view_.members) last_heard_[m.id] = now;
+  ++views_installed_;
+  STARFISH_LOG(kInfo, kLog) << self_.to_string() << " installed " << view_.to_string();
+  if (callbacks_.on_view) callbacks_.on_view(view_);
+  resend_pending();
+}
+
+void GroupEndpoint::resend_pending() {
+  if (!in_view_ || pending_.empty()) return;
+  for (const auto& [id, payload] : pending_) {
+    WireMsg msg = base_msg(MsgKind::kOrderReq);
+    msg.msg_id = id;
+    msg.payload = payload;
+    send_to_member(view_.coordinator(), msg);
+  }
+}
+
+// ------------------------------------------------------------- helpers ----
+
+void GroupEndpoint::send_to(const net::NetAddr& addr, const WireMsg& msg) {
+  endpoint_->send(addr, msg.encode());
+}
+
+WireMsg GroupEndpoint::base_msg(MsgKind kind) const {
+  WireMsg msg;
+  msg.kind = kind;
+  msg.from = self_;
+  msg.from_addr = endpoint_->addr();
+  return msg;
+}
+
+const Member* GroupEndpoint::member_by_id(MemberId id) const {
+  for (const auto& m : view_.members) {
+    if (m.id == id) return &m;
+  }
+  return nullptr;
+}
+
+bool GroupEndpoint::self_is_change_coordinator() const {
+  return phase_ == Phase::kFlushing && change_coordinator_ == self_;
+}
+
+}  // namespace starfish::gcs

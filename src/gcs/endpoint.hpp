@@ -1,0 +1,175 @@
+// GroupEndpoint: virtually synchronous group membership with reliable,
+// totally ordered multicast — the Ensemble subset Starfish builds on.
+//
+// Protocol summary (DESIGN.md section 5.1):
+//  * The lowest-ranked live member of the current view coordinates.
+//  * multicast(): sender -> coordinator ORDER_REQ; coordinator stamps a
+//    global sequence number and fans out ORDER to all members; members
+//    deliver in sequence order. FIFO links (the fabric guarantees per-pair
+//    ordering) make each member's received sequence a prefix.
+//  * Heartbeats all-to-all feed a timeout failure detector. The simulated
+//    fabric neither drops nor delays control traffic beyond its model, so a
+//    suspicion implies a real crash (no false suspicion); this is the
+//    classic synchronous-cluster assumption and is documented in DESIGN.md.
+//  * View change: coordinator sends PREPARE; members stop acquiring new
+//    orderings, reply FLUSH_OK carrying their delivered sequence number and
+//    any sequenced messages the coordinator is missing; the coordinator
+//    merges (virtual synchrony: every message delivered by any survivor is
+//    delivered by all) and sends INSTALL with the retransmission tail, the
+//    new membership, and — for joiners — the replicated state snapshot.
+//  * Senders keep unacknowledged multicasts and re-submit them to the new
+//    coordinator after a view change; per-origin message ids make
+//    re-sequencing idempotent.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "gcs/types.hpp"
+#include "gcs/wire.hpp"
+#include "net/network.hpp"
+#include "sim/host.hpp"
+
+namespace starfish::gcs {
+
+class GroupEndpoint {
+ public:
+  GroupEndpoint(net::Network& net, sim::Host& host, GroupConfig config, Callbacks callbacks);
+  ~GroupEndpoint();
+  GroupEndpoint(const GroupEndpoint&) = delete;
+  GroupEndpoint& operator=(const GroupEndpoint&) = delete;
+
+  /// Replaces the upcall set. Must be called before start_founding /
+  /// start_joining (used by layers that interpose on the raw group stream,
+  /// e.g. LightweightGroups).
+  void set_callbacks(Callbacks callbacks) { callbacks_ = std::move(callbacks); }
+
+  /// Founding boot: every founder is given the same address list (in the
+  /// same order) and installs the identical initial view without running
+  /// the protocol. Only valid on fresh hosts at cluster start.
+  void start_founding(const std::vector<net::NetAddr>& founders);
+
+  /// Late join: keeps sending JOIN_REQ to the seed addresses until some
+  /// coordinator admits us via a view change.
+  void start_joining(const std::vector<net::NetAddr>& seeds);
+
+  /// Graceful departure: asks the coordinator to exclude us. The endpoint
+  /// stops delivering once a view without us is installed.
+  void leave();
+
+  /// Totally ordered, virtually synchronous multicast to the current view.
+  /// Must be called from a fiber on this endpoint's host.
+  void multicast(util::Bytes payload);
+
+  MemberId self() const { return self_; }
+  net::NetAddr addr() const { return endpoint_->addr(); }
+  const View& view() const { return view_; }
+  bool in_view() const { return in_view_; }
+  bool is_coordinator() const {
+    return in_view_ && !view_.members.empty() && view_.coordinator().id == self_;
+  }
+
+  uint64_t messages_delivered() const { return messages_delivered_; }
+  uint64_t views_installed() const { return views_installed_; }
+  /// Size of the per-view retransmission log (bounded by stability GC).
+  size_t retransmission_log_size() const { return delivered_.size(); }
+
+  /// Stops fibers and closes the control endpoint (used by tests; a host
+  /// crash achieves the same through the fabric).
+  void shutdown();
+
+ private:
+  enum class Phase : uint8_t { kNormal, kFlushing };
+
+  void rx_loop();
+  void tick_loop();
+  void handle(const WireMsg& msg);
+  void handle_heartbeat(const WireMsg& msg);
+  void handle_join_req(const WireMsg& msg);
+  void handle_leave_req(const WireMsg& msg);
+  void handle_order_req(const WireMsg& msg);
+  void handle_order(const WireMsg& msg);
+  void handle_prepare(const WireMsg& msg);
+  void handle_flush_ok(const WireMsg& msg);
+  void handle_install(const WireMsg& msg);
+
+  void deliver_ready();
+  void deliver(const OrderedMsg& msg);
+  void sequence_and_fanout(MemberId origin, uint64_t msg_id, util::Bytes payload);
+  void check_failures();
+  void maybe_initiate_change();
+  void initiate_change();
+  void finish_change_if_ready();
+  void install_view(const View& v, const std::vector<OrderedMsg>& retransmit);
+  void resend_pending();
+  void send_to(const net::NetAddr& addr, const WireMsg& msg);
+  void send_to_member(const Member& m, const WireMsg& msg) { send_to(m.addr, msg); }
+  WireMsg base_msg(MsgKind kind) const;
+  const Member* member_by_id(MemberId id) const;
+  bool self_is_change_coordinator() const;
+
+  net::Network& net_;
+  sim::Host& host_;
+  GroupConfig config_;
+  Callbacks callbacks_;
+  MemberId self_;
+  net::DatagramEndpointPtr endpoint_;
+  sim::FiberPtr rx_fiber_;
+  sim::FiberPtr tick_fiber_;
+  bool shut_down_ = false;
+
+  // Membership.
+  View view_;
+  bool in_view_ = false;
+  bool leaving_ = false;
+  std::vector<net::NetAddr> join_seeds_;
+
+  // Delivery state (reset per view).
+  uint64_t delivered_gseq_ = 0;
+  std::map<uint64_t, OrderedMsg> holdback_;   ///< received, not yet deliverable
+  std::map<uint64_t, OrderedMsg> delivered_;  ///< this view's log (flush retransmission)
+  /// Highest msg_id delivered per origin (survives view changes): makes
+  /// post-view-change re-sequencing idempotent.
+  std::map<MemberId, uint64_t> last_delivered_msg_id_;
+
+  // Sender state.
+  uint64_t next_msg_id_ = 0;
+  std::deque<std::pair<uint64_t, util::Bytes>> pending_;  ///< not yet self-delivered
+
+  // Coordinator (sequencer) state.
+  uint64_t next_gseq_ = 0;
+  std::map<MemberId, uint64_t> last_sequenced_msg_id_;
+
+  // Failure detection.
+  std::map<MemberId, sim::Time> last_heard_;
+  std::set<MemberId> suspects_;
+  /// Latest delivered gseq each peer advertised via heartbeats; entries of
+  /// the retransmission log below the view-wide minimum are stable and can
+  /// be pruned (messages everyone delivered are never needed in a flush).
+  std::map<MemberId, uint64_t> peer_delivered_;
+
+  // View change state.
+  Phase phase_ = Phase::kNormal;
+  uint64_t change_view_id_ = 0;
+  uint32_t change_attempt_ = 0;
+  MemberId change_coordinator_;
+  sim::Time flush_deadline_ = 0;
+  // As change coordinator:
+  std::map<MemberId, net::NetAddr> joiners_;
+  std::set<MemberId> leavers_;
+  /// Joiners/leavers snapshotted into the in-flight change.
+  std::map<MemberId, net::NetAddr> change_joiners_;
+  std::set<MemberId> change_leavers_;
+  std::vector<Member> proposed_members_;
+  std::set<MemberId> flush_waiting_;  ///< old members we still need FLUSH_OK from
+  uint64_t flush_min_delivered_ = 0;
+
+  // Stats.
+  uint64_t messages_delivered_ = 0;
+  uint64_t views_installed_ = 0;
+};
+
+}  // namespace starfish::gcs

@@ -1,0 +1,211 @@
+#include "gcs/lightweight.hpp"
+
+#include <algorithm>
+
+namespace starfish::gcs {
+
+namespace {
+
+void put_member_id(util::Writer& w, const MemberId& id) {
+  w.u32(id.host);
+  w.u32(id.incarnation);
+}
+
+MemberId get_member_id(util::Reader& r) {
+  MemberId id;
+  id.host = r.u32().value_or(sim::kInvalidHost);
+  id.incarnation = r.u32().value_or(0);
+  return id;
+}
+
+}  // namespace
+
+LightweightGroups::LightweightGroups(GroupEndpoint& heavy, Callbacks app)
+    : heavy_(heavy), app_(std::move(app)) {
+  Callbacks wired;
+  wired.on_view = [this](const View& v) { on_heavy_view(v); };
+  wired.on_message = [this](MemberId origin, const util::Bytes& payload) {
+    on_heavy_message(origin, payload);
+  };
+  wired.get_state = [this] { return encode_state(); };
+  wired.set_state = [this](const util::Bytes& blob) { apply_state(blob); };
+  heavy.set_callbacks(std::move(wired));
+}
+
+void LightweightGroups::lw_join(const std::string& name, LwCallbacks callbacks) {
+  if (local_subs_.contains(name)) return;
+  local_subs_[name] = std::move(callbacks);
+  util::Bytes out;
+  util::Writer w(out);
+  w.u8(static_cast<uint8_t>(Tag::kLwJoin));
+  w.str(name);
+  heavy_.multicast(std::move(out));
+}
+
+void LightweightGroups::lw_leave(const std::string& name) {
+  if (!local_subs_.contains(name)) return;
+  util::Bytes out;
+  util::Writer w(out);
+  w.u8(static_cast<uint8_t>(Tag::kLwLeave));
+  w.str(name);
+  heavy_.multicast(std::move(out));
+  // Local upcalls stop immediately; the replicated membership updates when
+  // the ordered leave message is delivered.
+  local_subs_.erase(name);
+}
+
+void LightweightGroups::lw_multicast(const std::string& name, util::Bytes payload) {
+  util::Bytes out;
+  util::Writer w(out);
+  w.u8(static_cast<uint8_t>(Tag::kLwMsg));
+  w.str(name);
+  w.bytes(util::as_bytes_view(payload));
+  heavy_.multicast(std::move(out));
+}
+
+void LightweightGroups::heavy_multicast(util::Bytes payload) {
+  util::Bytes out;
+  util::Writer w(out);
+  w.u8(static_cast<uint8_t>(Tag::kApp));
+  w.bytes(util::as_bytes_view(payload));
+  heavy_.multicast(std::move(out));
+}
+
+std::optional<LwView> LightweightGroups::lw_view(const std::string& name) const {
+  auto it = groups_.find(name);
+  if (it == groups_.end()) return std::nullopt;
+  return LwView{it->second.lw_view_id, name, it->second.members};
+}
+
+std::vector<std::string> LightweightGroups::local_groups() const {
+  std::vector<std::string> out;
+  out.reserve(local_subs_.size());
+  for (const auto& [name, cbs] : local_subs_) out.push_back(name);
+  return out;
+}
+
+void LightweightGroups::on_heavy_view(const View& view) {
+  // Project the heavy membership change onto every lightweight group; only
+  // groups that actually lost members change views (paper: a node failure
+  // is reported only inside the lightweight groups it affects).
+  std::vector<std::string> dead_groups;
+  for (auto& [name, group] : groups_) {
+    const size_t before = group.members.size();
+    std::erase_if(group.members, [&](const MemberId& m) { return !view.contains(m); });
+    if (group.members.size() != before) {
+      if (group.members.empty()) {
+        dead_groups.push_back(name);
+      } else {
+        bump_and_deliver(name);
+      }
+    }
+  }
+  for (const auto& name : dead_groups) groups_.erase(name);
+  if (app_.on_view) app_.on_view(view);
+}
+
+void LightweightGroups::on_heavy_message(MemberId origin, const util::Bytes& payload) {
+  util::Reader r(util::as_bytes_view(payload));
+  auto tag = r.u8();
+  if (!tag.ok()) return;
+  switch (static_cast<Tag>(tag.value())) {
+    case Tag::kApp: {
+      auto body = r.bytes();
+      if (body.ok() && app_.on_message) app_.on_message(origin, body.value());
+      return;
+    }
+    case Tag::kLwJoin: {
+      auto name = r.str();
+      if (!name.ok()) return;
+      auto& group = groups_[name.value()];
+      if (std::find(group.members.begin(), group.members.end(), origin) ==
+          group.members.end()) {
+        group.members.push_back(origin);
+        bump_and_deliver(name.value());
+      }
+      return;
+    }
+    case Tag::kLwLeave: {
+      auto name = r.str();
+      if (!name.ok()) return;
+      auto it = groups_.find(name.value());
+      if (it == groups_.end()) return;
+      const size_t before = it->second.members.size();
+      std::erase(it->second.members, origin);
+      if (it->second.members.size() != before) {
+        if (it->second.members.empty()) {
+          groups_.erase(it);
+        } else {
+          bump_and_deliver(name.value());
+        }
+      }
+      return;
+    }
+    case Tag::kLwMsg: {
+      auto name = r.str();
+      if (!name.ok()) return;
+      auto body = r.bytes();
+      if (!body.ok()) return;
+      auto sub = local_subs_.find(name.value());
+      // Delivered only within the lightweight group: everyone else's daemon
+      // filters the frame here.
+      if (sub == local_subs_.end() || !sub->second.on_message) {
+        ++lw_messages_filtered_;
+        return;
+      }
+      sub->second.on_message(origin, body.value());
+      return;
+    }
+  }
+}
+
+void LightweightGroups::bump_and_deliver(const std::string& name) {
+  auto& group = groups_[name];
+  ++group.lw_view_id;
+  auto sub = local_subs_.find(name);
+  if (sub != local_subs_.end() && sub->second.on_view) {
+    ++lw_view_events_delivered_;
+    sub->second.on_view(LwView{group.lw_view_id, name, group.members});
+  }
+}
+
+util::Bytes LightweightGroups::encode_state() const {
+  util::Bytes out;
+  util::Writer w(out);
+  w.u32(static_cast<uint32_t>(groups_.size()));
+  for (const auto& [name, group] : groups_) {
+    w.str(name);
+    w.u64(group.lw_view_id);
+    w.u32(static_cast<uint32_t>(group.members.size()));
+    for (const auto& m : group.members) put_member_id(w, m);
+  }
+  if (app_.get_state) {
+    w.boolean(true);
+    w.bytes(util::as_bytes_view(app_.get_state()));
+  } else {
+    w.boolean(false);
+  }
+  return out;
+}
+
+void LightweightGroups::apply_state(const util::Bytes& blob) {
+  util::Reader r(util::as_bytes_view(blob));
+  groups_.clear();
+  const uint32_t n = r.u32().value_or(0);
+  for (uint32_t i = 0; i < n; ++i) {
+    auto name = r.str();
+    if (!name.ok()) return;
+    Group group;
+    group.lw_view_id = r.u64().value_or(0);
+    const uint32_t members = r.u32().value_or(0);
+    for (uint32_t k = 0; k < members; ++k) group.members.push_back(get_member_id(r));
+    groups_[name.value()] = std::move(group);
+  }
+  auto has_app = r.boolean();
+  if (has_app.ok() && has_app.value() && app_.set_state) {
+    auto body = r.bytes();
+    if (body.ok()) app_.set_state(body.value());
+  }
+}
+
+}  // namespace starfish::gcs

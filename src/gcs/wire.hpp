@@ -1,0 +1,69 @@
+// Wire format of the group-communication control messages.
+//
+// One flat tagged union kept deliberately simple: every field of every
+// message kind is a struct member; encode/decode read the `kind` tag first.
+// Control traffic is small and infrequent relative to the MPI data path, so
+// clarity wins over compactness here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gcs/types.hpp"
+#include "util/buffer.hpp"
+#include "util/result.hpp"
+
+namespace starfish::gcs {
+
+enum class MsgKind : uint8_t {
+  kHeartbeat = 1,
+  kJoinReq = 2,
+  kLeaveReq = 3,
+  kOrderReq = 4,   ///< member -> coordinator: please sequence this payload
+  kOrder = 5,      ///< coordinator -> all: sequenced group message
+  kPrepare = 6,    ///< view change phase 1
+  kFlushOk = 7,    ///< view change phase 2
+  kInstall = 8,    ///< view change phase 3
+};
+
+/// A sequenced message as retransmitted during flush.
+struct OrderedMsg {
+  uint64_t gseq = 0;
+  MemberId origin;
+  uint64_t msg_id = 0;
+  util::Bytes payload;
+};
+
+struct WireMsg {
+  MsgKind kind = MsgKind::kHeartbeat;
+  MemberId from;
+  net::NetAddr from_addr;  ///< sender's control address (joins need it)
+
+  // kOrderReq / kOrder
+  uint64_t msg_id = 0;
+  util::Bytes payload;
+  // kOrder
+  uint64_t gseq = 0;
+  MemberId origin;
+
+  // view change (kPrepare / kInstall)
+  uint64_t view_id = 0;
+  uint32_t attempt = 0;
+  std::vector<Member> members;
+  uint64_t coord_delivered = 0;  ///< kPrepare: coordinator's delivered gseq
+
+  // kFlushOk
+  uint64_t delivered = 0;
+  std::vector<OrderedMsg> buffered;
+
+  // kInstall
+  std::vector<OrderedMsg> retransmit;
+  /// Replicated-state snapshots for joiners: (present flag, blob).
+  bool has_state = false;
+  util::Bytes state;
+
+  util::Bytes encode() const;
+  static util::Result<WireMsg> decode(const util::Bytes& bytes);
+};
+
+}  // namespace starfish::gcs

@@ -1,0 +1,98 @@
+// Communicators and collective operations.
+//
+// A Comm names an ordered subset of world ranks plus a wire id; collectives
+// are built from point-to-point messages in a reserved tag space, with a
+// per-communicator sequence number separating consecutive collectives.
+// split()/dup() follow MPI semantics: they are collective calls, and every
+// member derives the identical child communicator id locally (a hash of the
+// parent id, creation counter, and color), so no extra agreement round is
+// needed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mpi/proc.hpp"
+
+namespace starfish::mpi {
+
+class Comm {
+ public:
+  /// COMM_WORLD over a configured Proc.
+  static Comm world(Proc& proc);
+
+  int rank() const { return my_index_; }
+  int size() const { return static_cast<int>(members_.size()); }
+  uint32_t id() const { return id_; }
+  Proc& proc() const { return *proc_; }
+  /// World rank of a communicator rank.
+  uint32_t world_rank(int r) const { return members_[static_cast<size_t>(r)]; }
+
+  // --- point-to-point (communicator ranks) ---
+  void send(int dst, int tag, util::Bytes data);
+  util::Bytes recv(int src, int tag, RecvStatus* status = nullptr);
+  Request isend(int dst, int tag, util::Bytes data);
+  Request irecv(int src, int tag);
+
+  // --- collectives ---
+  void barrier();
+  /// Root passes the payload; every rank (root included) returns it.
+  util::Bytes bcast(int root, util::Bytes data);
+  /// Root returns all ranks' contributions in rank order; others get {}.
+  std::vector<util::Bytes> gather(int root, util::Bytes mine);
+  /// Root passes one part per rank; every rank returns its part.
+  util::Bytes scatter(int root, std::vector<util::Bytes> parts);
+  std::vector<util::Bytes> allgather(util::Bytes mine);
+  /// parts[i] goes to rank i; returns what every rank sent to me.
+  std::vector<util::Bytes> alltoall(std::vector<util::Bytes> parts);
+
+  std::vector<int64_t> reduce(int root, std::vector<int64_t> data, ReduceOp op);
+  std::vector<double> reduce(int root, std::vector<double> data, ReduceOp op);
+  std::vector<int64_t> allreduce(std::vector<int64_t> data, ReduceOp op);
+  std::vector<double> allreduce(std::vector<double> data, ReduceOp op);
+  /// Inclusive prefix reduction: rank r returns op(data_0 .. data_r).
+  std::vector<int64_t> scan(std::vector<int64_t> data, ReduceOp op);
+  /// Exclusive prefix: rank 0 returns its input unchanged (MPI semantics
+  /// leave it undefined; returning the input is the common convention),
+  /// rank r>0 returns op(data_0 .. data_{r-1}).
+  std::vector<int64_t> exscan(std::vector<int64_t> data, ReduceOp op);
+
+  /// Combined send+receive without deadlock (MPI_Sendrecv).
+  util::Bytes sendrecv(int dst, int send_tag, util::Bytes data, int src, int recv_tag,
+                       RecvStatus* status = nullptr);
+
+  /// Collective: partitions members by color (< 0 means "not in any child";
+  /// returns an empty-size comm), ordering each child by (key, world rank).
+  Comm split(int color, int key);
+  Comm dup();
+
+  /// COMM_WORLD only: re-reads the (possibly grown) world size from the
+  /// Proc after a dynamic reconfiguration (MPI-2 spawn). Collectives across
+  /// a growth event require application-level quiescence.
+  void refresh_world() {
+    if (id_ != kWorldCommId) return;
+    members_.resize(proc_->size());
+    for (uint32_t i = 0; i < proc_->size(); ++i) members_[i] = i;
+    my_index_ = static_cast<int>(proc_->rank());
+  }
+
+ private:
+  Comm(Proc& proc, uint32_t id, std::vector<uint32_t> members, int my_index)
+      : proc_(&proc), id_(id), members_(std::move(members)), my_index_(my_index) {}
+
+  int next_collective_tag(uint8_t opcode);
+  template <typename T>
+  std::vector<T> reduce_typed(int root, std::vector<T> data, ReduceOp op);
+  template <typename T>
+  std::vector<T> allreduce_typed(std::vector<T> data, ReduceOp op);
+
+  Proc* proc_;
+  uint32_t id_ = kWorldCommId;
+  std::vector<uint32_t> members_;  ///< world ranks, communicator order
+  int my_index_ = -1;
+  uint32_t collective_seq_ = 0;
+  uint32_t child_counter_ = 0;
+};
+
+}  // namespace starfish::mpi

@@ -1,0 +1,114 @@
+#include "mpi/datatype.hpp"
+
+#include <cstring>
+
+namespace starfish::mpi {
+
+Datatype Datatype::contiguous(size_t count, size_t elem_bytes) {
+  Datatype d;
+  if (count > 0) d.blocks_.emplace_back(0, count * elem_bytes);
+  d.packed_bytes_ = count * elem_bytes;
+  d.extent_ = count * elem_bytes;
+  return d;
+}
+
+Datatype Datatype::vector(size_t count, size_t block_elems, size_t stride_elems,
+                          size_t elem_bytes) {
+  Datatype d;
+  for (size_t i = 0; i < count; ++i) {
+    d.blocks_.emplace_back(i * stride_elems * elem_bytes, block_elems * elem_bytes);
+  }
+  d.packed_bytes_ = count * block_elems * elem_bytes;
+  d.extent_ = count == 0 ? 0
+                         : (count - 1) * stride_elems * elem_bytes + block_elems * elem_bytes;
+  return d;
+}
+
+Datatype Datatype::indexed(std::vector<std::pair<size_t, size_t>> blocks) {
+  Datatype d;
+  d.blocks_ = std::move(blocks);
+  for (const auto& [off, len] : d.blocks_) {
+    d.packed_bytes_ += len;
+    d.extent_ = std::max(d.extent_, off + len);
+  }
+  return d;
+}
+
+util::Result<util::Bytes> Datatype::pack(std::span<const std::byte> buffer) const {
+  if (buffer.size() < extent_) {
+    return util::Error::make("pack", "buffer smaller than the datatype extent");
+  }
+  util::Bytes out;
+  out.reserve(packed_bytes_);
+  for (const auto& [off, len] : blocks_) {
+    out.insert(out.end(), buffer.begin() + static_cast<ptrdiff_t>(off),
+               buffer.begin() + static_cast<ptrdiff_t>(off + len));
+  }
+  return out;
+}
+
+util::Status Datatype::unpack(std::span<const std::byte> message,
+                              std::span<std::byte> buffer) const {
+  if (message.size() != packed_bytes_) {
+    return util::Error::make("unpack", "message size does not match the datatype");
+  }
+  if (buffer.size() < extent_) {
+    return util::Error::make("unpack", "buffer smaller than the datatype extent");
+  }
+  size_t pos = 0;
+  for (const auto& [off, len] : blocks_) {
+    std::memcpy(buffer.data() + off, message.data() + pos, len);
+    pos += len;
+  }
+  return util::Status::ok_status();
+}
+
+util::Bytes encode_i64s(std::span<const int64_t> values) {
+  util::Bytes out;
+  util::Writer w(out);
+  w.u32(static_cast<uint32_t>(values.size()));
+  for (int64_t v : values) w.i64(v);
+  return out;
+}
+
+std::vector<int64_t> decode_i64s(const util::Bytes& bytes) {
+  util::Reader r(util::as_bytes_view(bytes));
+  std::vector<int64_t> out;
+  const uint32_t n = r.u32().value_or(0);
+  for (uint32_t i = 0; i < n; ++i) out.push_back(r.i64().value_or(0));
+  return out;
+}
+
+util::Bytes encode_f64s(std::span<const double> values) {
+  util::Bytes out;
+  util::Writer w(out);
+  w.u32(static_cast<uint32_t>(values.size()));
+  for (double v : values) w.f64(v);
+  return out;
+}
+
+std::vector<double> decode_f64s(const util::Bytes& bytes) {
+  util::Reader r(util::as_bytes_view(bytes));
+  std::vector<double> out;
+  const uint32_t n = r.u32().value_or(0);
+  for (uint32_t i = 0; i < n; ++i) out.push_back(r.f64().value_or(0.0));
+  return out;
+}
+
+util::Bytes encode_i32s(std::span<const int32_t> values) {
+  util::Bytes out;
+  util::Writer w(out);
+  w.u32(static_cast<uint32_t>(values.size()));
+  for (int32_t v : values) w.i32(v);
+  return out;
+}
+
+std::vector<int32_t> decode_i32s(const util::Bytes& bytes) {
+  util::Reader r(util::as_bytes_view(bytes));
+  std::vector<int32_t> out;
+  const uint32_t n = r.u32().value_or(0);
+  for (uint32_t i = 0; i < n; ++i) out.push_back(r.i32().value_or(0));
+  return out;
+}
+
+}  // namespace starfish::mpi

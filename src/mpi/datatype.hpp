@@ -1,0 +1,59 @@
+// Derived datatypes and pack/unpack (the MPI datatype machinery, simplified
+// to the layouts message-passing codes actually use).
+//
+// A Datatype describes a memory layout over a byte buffer: contiguous runs,
+// strided vectors (e.g. a matrix column), or an explicit indexed list of
+// blocks. pack() gathers the described bytes into a contiguous wire buffer;
+// unpack() scatters them back. Typed helpers cover the common scalar-array
+// cases with explicit little-endian wire order, so heterogeneous ranks in a
+// simulated mixed cluster exchange bytes portably.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/buffer.hpp"
+#include "util/result.hpp"
+
+namespace starfish::mpi {
+
+class Datatype {
+ public:
+  /// `count` elements of `elem_bytes` each, back to back from offset 0.
+  static Datatype contiguous(size_t count, size_t elem_bytes);
+  /// `count` blocks of `block_elems` elements, the start of consecutive
+  /// blocks `stride_elems` elements apart (MPI_Type_vector).
+  static Datatype vector(size_t count, size_t block_elems, size_t stride_elems,
+                         size_t elem_bytes);
+  /// Explicit (offset, length) byte extents (MPI_Type_indexed flavor).
+  static Datatype indexed(std::vector<std::pair<size_t, size_t>> blocks);
+
+  /// Total bytes the layout reads/writes (the packed size).
+  size_t packed_bytes() const { return packed_bytes_; }
+  /// Smallest buffer size the layout fits into.
+  size_t extent() const { return extent_; }
+
+  /// Gathers the described bytes of `buffer` into a contiguous message.
+  util::Result<util::Bytes> pack(std::span<const std::byte> buffer) const;
+  /// Scatters `message` back into `buffer` according to the layout.
+  util::Status unpack(std::span<const std::byte> message,
+                      std::span<std::byte> buffer) const;
+
+ private:
+  Datatype() = default;
+  std::vector<std::pair<size_t, size_t>> blocks_;  // (byte offset, byte length)
+  size_t packed_bytes_ = 0;
+  size_t extent_ = 0;
+};
+
+// --- typed scalar-array codecs (explicit wire order) ---
+
+util::Bytes encode_i64s(std::span<const int64_t> values);
+std::vector<int64_t> decode_i64s(const util::Bytes& bytes);
+util::Bytes encode_f64s(std::span<const double> values);
+std::vector<double> decode_f64s(const util::Bytes& bytes);
+util::Bytes encode_i32s(std::span<const int32_t> values);
+std::vector<int32_t> decode_i32s(const util::Bytes& bytes);
+
+}  // namespace starfish::mpi

@@ -1,0 +1,53 @@
+#include "mpi/frame.hpp"
+
+namespace starfish::mpi {
+
+util::Bytes Frame::encode() const {
+  util::Bytes out;
+  util::Writer w(out);
+  w.u8(static_cast<uint8_t>(kind));
+  w.u32(comm);
+  w.u32(src_rank);
+  w.u32(dst_rank);
+  w.i32(tag);
+  w.u64(seq);
+  w.u32(send_interval);
+  w.u64(total_bytes);
+  w.bytes(util::as_bytes_view(payload));
+  return out;
+}
+
+util::Result<Frame> Frame::decode(const util::Bytes& bytes) {
+  util::Reader r(util::as_bytes_view(bytes));
+  Frame f;
+  auto kind = r.u8();
+  if (!kind) return kind.error();
+  f.kind = static_cast<FrameKind>(kind.value());
+  auto comm = r.u32();
+  if (!comm) return comm.error();
+  f.comm = comm.value();
+  auto src = r.u32();
+  if (!src) return src.error();
+  f.src_rank = src.value();
+  auto dst = r.u32();
+  if (!dst) return dst.error();
+  f.dst_rank = dst.value();
+  auto tag = r.i32();
+  if (!tag) return tag.error();
+  f.tag = tag.value();
+  auto seq = r.u64();
+  if (!seq) return seq.error();
+  f.seq = seq.value();
+  auto interval = r.u32();
+  if (!interval) return interval.error();
+  f.send_interval = interval.value();
+  auto total = r.u64();
+  if (!total) return total.error();
+  f.total_bytes = total.value();
+  auto payload = r.bytes();
+  if (!payload) return payload.error();
+  f.payload = std::move(payload).take();
+  return f;
+}
+
+}  // namespace starfish::mpi

@@ -1,0 +1,40 @@
+// Data-path frame format (what travels over the VNI).
+//
+// Every frame carries the sender's checkpoint-interval index so that the
+// uncoordinated C/R protocol can piggyback rollback-dependency information
+// at zero extra message cost (DESIGN.md section 5.4); coordinated protocols
+// ignore the field.
+#pragma once
+
+#include <cstdint>
+
+#include "util/buffer.hpp"
+#include "util/result.hpp"
+
+namespace starfish::mpi {
+
+enum class FrameKind : uint8_t {
+  kEager = 0,        ///< payload included
+  kRendezvousRts = 1,  ///< announce a large message (payload omitted)
+  kRendezvousCts = 2,  ///< receiver ready: sender may stream the payload
+  kRendezvousData = 3, ///< the large payload
+  kFlushMarker = 4,    ///< stop-and-sync channel flush (C/R)
+  kClMarker = 5,       ///< Chandy–Lamport snapshot marker (C/R)
+};
+
+struct Frame {
+  FrameKind kind = FrameKind::kEager;
+  uint32_t comm = 0;
+  uint32_t src_rank = 0;
+  uint32_t dst_rank = 0;
+  int32_t tag = 0;
+  uint64_t seq = 0;           ///< per (src,dst) channel sequence / rendezvous id
+  uint32_t send_interval = 0; ///< sender's checkpoint interval (uncoordinated C/R)
+  uint64_t total_bytes = 0;   ///< kRendezvousRts: announced payload size
+  util::Bytes payload;
+
+  util::Bytes encode() const;
+  static util::Result<Frame> decode(const util::Bytes& bytes);
+};
+
+}  // namespace starfish::mpi

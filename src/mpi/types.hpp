@@ -1,0 +1,36 @@
+// Core MPI-module types and constants.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace starfish::mpi {
+
+constexpr int kAnySource = -1;
+constexpr int kAnyTag = -1;
+
+/// Tags above this are reserved for internal protocols (collectives, C/R).
+constexpr int kMaxUserTag = 0x0fffffff;
+constexpr int kCollectiveTagBase = 0x10000000;
+
+/// COMM_WORLD's id; communicators created by split/dup get higher ids.
+constexpr uint32_t kWorldCommId = 0;
+
+enum class ReduceOp : uint8_t { kSum = 0, kMin = 1, kMax = 2, kProd = 3 };
+
+/// Completion info for a receive (MPI_Status).
+struct RecvStatus {
+  int source = kAnySource;
+  int tag = kAnyTag;
+  uint64_t bytes = 0;
+};
+
+struct ProcConfig {
+  /// Messages up to this size are sent eagerly; larger ones use the
+  /// rendezvous (RTS/CTS) protocol so the receiver can sink them without
+  /// unbounded buffering.
+  uint64_t eager_threshold = 16 * 1024;
+};
+
+}  // namespace starfish::mpi

@@ -1,0 +1,47 @@
+#include "net/model_params.hpp"
+
+namespace starfish::net {
+
+using sim::microseconds;
+
+const char* transport_name(TransportKind kind) {
+  return kind == TransportKind::kTcpIp ? "TCP/IP" : "BIP/Myrinet";
+}
+
+TransportModel tcp_ip_model() {
+  TransportModel m{};
+  m.kind = TransportKind::kTcpIp;
+  m.mpi_send = microseconds(12);
+  m.vni_send = microseconds(10);
+  m.kernel_send = microseconds(100);
+  m.propagation = microseconds(48);
+  m.bandwidth_mb_s = 11.0;  // app-level Fast Ethernet
+  m.kernel_recv = microseconds(88);
+  m.vni_recv = microseconds(10);
+  m.mpi_recv = microseconds(8);
+  m.blocking_recv_penalty = microseconds(60);
+  return m;
+}
+
+TransportModel bip_myrinet_model() {
+  TransportModel m{};
+  m.kind = TransportKind::kBipMyrinet;
+  m.mpi_send = microseconds(12);
+  m.vni_send = microseconds(6);
+  m.kernel_send = 0;  // user-level interface: no kernel crossing
+  m.propagation = microseconds(11);
+  m.bandwidth_mb_s = 60.0;  // BIP large-message rate on Myrinet
+  m.kernel_recv = 0;
+  m.vni_recv = microseconds(6);
+  m.mpi_recv = microseconds(8);
+  m.blocking_recv_penalty = microseconds(15);
+  return m;
+}
+
+const TransportModel& model_for(TransportKind kind) {
+  static const TransportModel tcp = tcp_ip_model();
+  static const TransportModel bip = bip_myrinet_model();
+  return kind == TransportKind::kTcpIp ? tcp : bip;
+}
+
+}  // namespace starfish::net

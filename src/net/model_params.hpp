@@ -1,0 +1,63 @@
+// Transport models for the two data networks the paper evaluates
+// (section 5, Figure 5/6): the kernel TCP/IP stack over Ethernet, and the
+// BIP user-level interface over Myrinet.
+//
+// Calibration anchors (paper, Figure 5): a 1-byte round trip measured at the
+// application level is 552 µs over TCP/IP and 86 µs over BIP/Myrinet, and
+// both curves grow linearly with message size. One-way budgets below sum to
+// 276 µs (TCP) and 43 µs (BIP). Per-layer terms are size-independent because
+// messages are never copied inside Starfish (paper, Figure 6 discussion);
+// only the wire term scales with size.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace starfish::net {
+
+enum class TransportKind : uint8_t { kTcpIp = 0, kBipMyrinet = 1 };
+constexpr int kTransportCount = 2;
+
+const char* transport_name(TransportKind kind);
+
+/// Same-host ("loopback") traffic bypasses the wire: fixed kernel cost plus
+/// a memcpy-rate transfer, regardless of transport.
+constexpr sim::Duration kLoopbackOneWay = sim::microseconds(30);
+constexpr double kLoopbackBandwidthMbS = 200.0;
+
+/// Per-message, size-independent layer costs (one direction), plus the wire.
+struct TransportModel {
+  TransportKind kind;
+  // Send side, charged to the sending fiber.
+  sim::Duration mpi_send;      ///< MPI module: matching bookkeeping, header build
+  sim::Duration vni_send;      ///< VNI: transport framing, doorbell/syscall entry
+  sim::Duration kernel_send;   ///< kernel IP stack traversal (0 for user-level BIP)
+  // Wire.
+  sim::Duration propagation;   ///< switch + cable latency
+  double bandwidth_mb_s;       ///< payload streaming rate
+  // Receive side, charged to the polling thread (or to the receiver when
+  // polling is disabled — see Poller).
+  sim::Duration kernel_recv;   ///< kernel delivery + copy to user (0 for BIP)
+  sim::Duration vni_recv;      ///< VNI: frame parse, queue insert
+  sim::Duration mpi_recv;      ///< MPI module: match against posted receives
+  // Extra cost a *blocking* receive pays per message when no polling thread
+  // hides the kernel interaction (paper section 2.2.1).
+  sim::Duration blocking_recv_penalty;
+
+  sim::Duration one_way_fixed() const {
+    return mpi_send + vni_send + kernel_send + propagation + kernel_recv + vni_recv + mpi_recv;
+  }
+  sim::Duration wire_time(uint64_t bytes) const {
+    return propagation +
+           sim::seconds(static_cast<double>(bytes) / (bandwidth_mb_s * 1e6));
+  }
+};
+
+/// TCP/IP over 100 Mb Ethernet; one-way fixed cost 276 µs.
+TransportModel tcp_ip_model();
+/// BIP over Myrinet (user level, kernel bypassed); one-way fixed cost 43 µs.
+TransportModel bip_myrinet_model();
+const TransportModel& model_for(TransportKind kind);
+
+}  // namespace starfish::net

@@ -1,0 +1,234 @@
+#include "net/network.hpp"
+
+#include <cassert>
+
+#include "util/log.hpp"
+
+namespace starfish::net {
+
+std::string NetAddr::to_string() const {
+  return "host" + std::to_string(host) + ":" + std::to_string(port);
+}
+
+// --------------------------------------------------------------- Network ---
+
+sim::HostPtr Network::add_host(std::string name, const sim::Machine& machine,
+                               sim::DiskParams disk) {
+  auto h = std::make_shared<sim::Host>(engine_, static_cast<sim::HostId>(hosts_.size()),
+                                       std::move(name), machine, disk);
+  hosts_.push_back(h);
+  return h;
+}
+
+sim::HostPtr Network::host(sim::HostId id) const {
+  assert(id < hosts_.size());
+  return hosts_[id];
+}
+
+bool Network::host_alive(sim::HostId id) const {
+  return id < hosts_.size() && hosts_[id]->alive();
+}
+
+void Network::transmit(TransportKind kind, Packet packet) {
+  const TransportModel& model = model_for(kind);
+  sim::Duration delay;
+  if (packet.src.host == packet.dst.host) {
+    delay = kLoopbackOneWay +
+            sim::seconds(static_cast<double>(packet.payload.size()) /
+                         (kLoopbackBandwidthMbS * 1e6));
+  } else {
+    delay = model.one_way_fixed() - model.propagation + model.wire_time(packet.payload.size());
+  }
+  // FIFO per (src, dst) pair: a short message must not overtake a long one
+  // sent earlier on the same pair — both TCP streams and BIP channels
+  // deliver in order, and the gcs flush protocol relies on it.
+  const auto key = std::make_pair(packet.src, packet.dst);
+  const sim::Time arrival = std::max(engine_.now() + delay, last_delivery_[key] + 1);
+  last_delivery_[key] = arrival;
+  delay = arrival - engine_.now();
+  ++packets_sent_;
+  engine_.schedule(delay, [this, packet = std::move(packet)]() mutable {
+    if (!host_alive(packet.dst.host) || !host_alive(packet.src.host)) return;
+    auto it = bindings_.find(packet.dst);
+    if (it == bindings_.end()) return;  // nothing bound: datagram dropped
+    it->second->inbox_.send(std::move(packet));
+  });
+}
+
+void Network::unbind(NetAddr addr) { bindings_.erase(addr); }
+void Network::unlisten(NetAddr addr) { listeners_.erase(addr); }
+
+DatagramEndpointPtr Network::bind(sim::HostId host, Port port, TransportKind kind) {
+  NetAddr addr{host, port};
+  assert(bindings_.find(addr) == bindings_.end() && "port already bound");
+  auto ep = DatagramEndpointPtr(new DatagramEndpoint(*this, addr, kind));
+  bindings_[addr] = ep.get();
+  return ep;
+}
+
+DatagramEndpointPtr Network::bind_auto(sim::HostId host, TransportKind kind) {
+  return bind(host, next_auto_port_++, kind);
+}
+
+// ------------------------------------------------------ DatagramEndpoint ---
+
+DatagramEndpoint::DatagramEndpoint(Network& net, NetAddr addr, TransportKind kind)
+    : net_(net), addr_(addr), kind_(kind), inbox_(net.engine()) {}
+
+DatagramEndpoint::~DatagramEndpoint() { close(); }
+
+bool DatagramEndpoint::send(NetAddr dst, util::Bytes payload) {
+  return send_raw(dst, std::move(payload));
+}
+
+bool DatagramEndpoint::send_raw(NetAddr dst, util::Bytes payload) {
+  if (inbox_.closed() || !net_.host_alive(addr_.host)) return false;
+  net_.transmit(kind_, Packet{addr_, dst, std::move(payload)});
+  return true;
+}
+
+void DatagramEndpoint::close() {
+  if (!inbox_.closed()) {
+    inbox_.close();
+    net_.unbind(addr_);
+  }
+}
+
+// ------------------------------------------------------------ Connection ---
+
+struct Connection::State {
+  State(sim::Engine& eng, TransportKind k, sim::HostId h0, sim::HostId h1)
+      : kind(k), hosts{h0, h1}, inbox{sim::Channel<util::Bytes>(eng), sim::Channel<util::Bytes>(eng)} {}
+  TransportKind kind;
+  sim::HostId hosts[2];
+  sim::Channel<util::Bytes> inbox[2];  // inbox[s] is read by side s
+  sim::Time last_arrival[2] = {0, 0};  // latest scheduled delivery per inbox
+  bool closed = false;   // graceful shutdown: no new sends, in-flight drains
+  bool crashed = false;  // host failure: in-flight is lost
+};
+
+Connection::Connection(Network& net, std::shared_ptr<State> state, sim::HostId local,
+                       sim::HostId remote, int side)
+    : net_(net), state_(std::move(state)), local_(local), remote_(remote), side_(side) {}
+
+bool Connection::send(util::Bytes payload) {
+  State& st = *state_;
+  if (st.closed || st.crashed || !net_.host_alive(local_)) return false;
+  const TransportModel& model = model_for(st.kind);
+  const sim::Duration delay =
+      model.one_way_fixed() - model.propagation + model.wire_time(payload.size());
+  auto state = state_;
+  const int peer = 1 - side_;
+  Network* net = &net_;
+  sim::HostId remote = remote_;
+  st.last_arrival[peer] = std::max(st.last_arrival[peer], net_.engine().now() + delay);
+  net_.engine().schedule(delay, [state, peer, net, remote, payload = std::move(payload)]() mutable {
+    // Only a crash loses in-flight data; a graceful close drains it.
+    if (state->crashed || !net->host_alive(remote)) return;
+    state->inbox[peer].send(std::move(payload));
+  });
+  return true;
+}
+
+sim::RecvResult<util::Bytes> Connection::recv(sim::Time deadline) {
+  return state_->inbox[side_].recv(deadline);
+}
+
+std::optional<util::Bytes> Connection::try_recv() { return state_->inbox[side_].try_recv(); }
+
+void Connection::close() {
+  State& st = *state_;
+  if (st.closed || st.crashed) return;
+  st.closed = true;
+  // Local side sees EOF now; the peer's FIN is ordered after every delivery
+  // already on the wire (TCP stream ordering), so in-flight data drains.
+  st.inbox[side_].close();
+  auto state = state_;
+  const int peer = 1 - side_;
+  const sim::Time now = net_.engine().now();
+  const sim::Time fin_at =
+      std::max(now + model_for(st.kind).one_way_fixed(), st.last_arrival[peer] + 1);
+  net_.engine().schedule(fin_at - now, [state, peer] { state->inbox[peer].close(); });
+}
+
+bool Connection::broken() const { return state_->closed || state_->crashed; }
+
+// -------------------------------------------------------------- Acceptor ---
+
+Acceptor::Acceptor(Network& net, NetAddr addr, TransportKind kind)
+    : net_(net), addr_(addr), kind_(kind), backlog_(net.engine()) {}
+
+Acceptor::~Acceptor() { close(); }
+
+void Acceptor::close() {
+  if (!backlog_.closed()) {
+    backlog_.close();
+    net_.unlisten(addr_);
+  }
+}
+
+AcceptorPtr Network::listen(sim::HostId host, Port port, TransportKind kind) {
+  NetAddr addr{host, port};
+  assert(listeners_.find(addr) == listeners_.end() && "port already listening");
+  auto acc = AcceptorPtr(new Acceptor(*this, addr, kind));
+  listeners_[addr] = acc.get();
+  return acc;
+}
+
+ConnectionPtr Network::connect(sim::HostId from, NetAddr dst, TransportKind kind) {
+  if (!host_alive(from) || !host_alive(dst.host)) return nullptr;
+  auto it = listeners_.find(dst);
+  if (it == listeners_.end() || it->second->kind_ != kind) return nullptr;
+  Acceptor* acc = it->second;
+
+  auto state = std::make_shared<Connection::State>(engine_, kind, from, dst.host);
+  conn_states_.push_back(state);
+  auto server_end = ConnectionPtr(new Connection(*this, state, dst.host, from, 1));
+  auto client_end = ConnectionPtr(new Connection(*this, state, from, dst.host, 0));
+
+  const sim::Duration one_way = model_for(kind).one_way_fixed();
+  engine_.schedule(one_way, [this, acc, dst, server_end]() {
+    // Deliver the server end unless the listener went away meanwhile.
+    auto it2 = listeners_.find(dst);
+    if (it2 == listeners_.end() || it2->second != acc) return;
+    acc->backlog_.send(server_end);
+  });
+  // SYN + SYN/ACK round trip before the caller may use the connection.
+  engine_.sleep(2 * one_way);
+  if (state->crashed || state->closed || !host_alive(from) || !host_alive(dst.host)) {
+    return nullptr;
+  }
+  return client_end;
+}
+
+void Network::crash_host(sim::HostId id) {
+  assert(id < hosts_.size());
+  hosts_[id]->crash();
+
+  // Drop bindings and listeners on the dead host; close() mutates the maps,
+  // so collect first.
+  std::vector<DatagramEndpoint*> dead_eps;
+  for (auto& [addr, ep] : bindings_) {
+    if (addr.host == id) dead_eps.push_back(ep);
+  }
+  for (auto* ep : dead_eps) ep->close();
+  std::vector<Acceptor*> dead_acc;
+  for (auto& [addr, acc] : listeners_) {
+    if (addr.host == id) dead_acc.push_back(acc);
+  }
+  for (auto* acc : dead_acc) acc->close();
+
+  // Break every connection with an end on the dead host.
+  std::erase_if(conn_states_, [](const auto& w) { return w.expired(); });
+  for (auto& weak : conn_states_) {
+    auto st = weak.lock();
+    if (!st) continue;
+    if (st->hosts[0] == id || st->hosts[1] == id) {
+      st->crashed = true;
+      st->inbox[0].close();
+      st->inbox[1].close();
+    }
+  }
+}
+
+}  // namespace starfish::net

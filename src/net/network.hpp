@@ -1,0 +1,190 @@
+// The cluster fabric: hosts wired by two networks (TCP/IP and BIP/Myrinet).
+//
+// Two communication abstractions are provided on top of the fabric:
+//   * Connection — reliable bidirectional framed stream (the paper's "TCP
+//     connections": daemon<->application process, client<->daemon management
+//     sessions, daemon<->daemon control links).
+//   * DatagramEndpoint — the raw port abstraction the VNI builds the MPI
+//     fast data path on.
+// Both lose traffic when an endpoint's host crashes (fail-stop); in-flight
+// packets to/from a dead host are dropped, connections break, and blocked
+// readers wake with kClosed — exactly the failure surface the daemons'
+// failure detector and the C/R protocols must handle.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/model_params.hpp"
+#include "sim/host.hpp"
+#include "sim/sync.hpp"
+#include "util/buffer.hpp"
+
+namespace starfish::net {
+
+using Port = uint32_t;
+
+struct NetAddr {
+  sim::HostId host = sim::kInvalidHost;
+  Port port = 0;
+  auto operator<=>(const NetAddr&) const = default;
+  std::string to_string() const;
+};
+
+struct Packet {
+  NetAddr src;
+  NetAddr dst;
+  util::Bytes payload;
+};
+
+class Network;
+
+/// Raw datagram port. Bound to (host, port); recv blocks on the inbox.
+class DatagramEndpoint {
+ public:
+  ~DatagramEndpoint();
+  DatagramEndpoint(const DatagramEndpoint&) = delete;
+  DatagramEndpoint& operator=(const DatagramEndpoint&) = delete;
+
+  NetAddr addr() const { return addr_; }
+  TransportKind transport() const { return kind_; }
+
+  /// Fire-and-forget; charges vni/kernel send CPU to the caller and puts the
+  /// payload on the wire. Returns false if the local host is dead.
+  bool send(NetAddr dst, util::Bytes payload);
+  /// Raw enqueue-on-wire without charging send-side CPU (used by layers that
+  /// charge their own costs, e.g. the VNI instrumentation path).
+  bool send_raw(NetAddr dst, util::Bytes payload);
+
+  sim::RecvResult<Packet> recv(sim::Time deadline = -1) { return inbox_.recv(deadline); }
+  std::optional<Packet> try_recv() { return inbox_.try_recv(); }
+  void close();
+  bool closed() const { return inbox_.closed(); }
+  size_t pending() const { return inbox_.pending(); }
+
+ private:
+  friend class Network;
+  DatagramEndpoint(Network& net, NetAddr addr, TransportKind kind);
+
+  Network& net_;
+  NetAddr addr_;
+  TransportKind kind_;
+  sim::Channel<Packet> inbox_;
+};
+
+using DatagramEndpointPtr = std::shared_ptr<DatagramEndpoint>;
+
+/// One end of a reliable framed stream. Both ends share a ConnState.
+class Connection {
+ public:
+  /// Sends one framed message; returns false if the connection is broken.
+  bool send(util::Bytes payload);
+  /// Blocks for the next message; kClosed once broken/closed and drained.
+  sim::RecvResult<util::Bytes> recv(sim::Time deadline = -1);
+  std::optional<util::Bytes> try_recv();
+  /// Graceful close: peer recv drains then reports kClosed.
+  void close();
+  bool broken() const;
+  sim::HostId local_host() const { return local_; }
+  sim::HostId peer_host() const { return remote_; }
+
+ private:
+  friend class Network;
+  struct State;
+  Connection(Network& net, std::shared_ptr<State> state, sim::HostId local, sim::HostId remote,
+             int side);
+
+  Network& net_;
+  std::shared_ptr<State> state_;
+  sim::HostId local_;
+  sim::HostId remote_;
+  int side_;  // 0 = connecting side, 1 = accepting side
+};
+
+using ConnectionPtr = std::shared_ptr<Connection>;
+
+/// Listening socket: accept() yields server-side Connection ends.
+class Acceptor {
+ public:
+  ~Acceptor();
+  Acceptor(const Acceptor&) = delete;
+  Acceptor& operator=(const Acceptor&) = delete;
+
+  NetAddr addr() const { return addr_; }
+  /// Blocks until a peer connects (kClosed if the acceptor is closed or the
+  /// host died).
+  sim::RecvResult<ConnectionPtr> accept(sim::Time deadline = -1) {
+    return backlog_.recv(deadline);
+  }
+  void close();
+
+ private:
+  friend class Network;
+  Acceptor(Network& net, NetAddr addr, TransportKind kind);
+
+  Network& net_;
+  NetAddr addr_;
+  TransportKind kind_;
+  sim::Channel<ConnectionPtr> backlog_;
+};
+
+using AcceptorPtr = std::shared_ptr<Acceptor>;
+
+class Network {
+ public:
+  explicit Network(sim::Engine& engine) : engine_(engine) {}
+
+  sim::Engine& engine() const { return engine_; }
+
+  // --- topology ---
+  sim::HostPtr add_host(std::string name,
+                        const sim::Machine& machine = sim::default_machine(),
+                        sim::DiskParams disk = sim::ide_disk_params());
+  sim::HostPtr host(sim::HostId id) const;
+  size_t host_count() const { return hosts_.size(); }
+  const std::vector<sim::HostPtr>& hosts() const { return hosts_; }
+
+  /// Fail-stop crash: kills the host's fibers, drops its bindings, breaks
+  /// its connections. The authoritative way to inject a node failure.
+  void crash_host(sim::HostId id);
+
+  // --- datagram API ---
+  DatagramEndpointPtr bind(sim::HostId host, Port port, TransportKind kind);
+  /// Picks an unused port on the host.
+  DatagramEndpointPtr bind_auto(sim::HostId host, TransportKind kind);
+
+  // --- stream API ---
+  AcceptorPtr listen(sim::HostId host, Port port, TransportKind kind);
+  /// Blocks ~1 RTT; nullptr if nobody listens at dst or a host is dead.
+  ConnectionPtr connect(sim::HostId from, NetAddr dst, TransportKind kind);
+
+  /// Total messages put on the wire (for tests/benches).
+  uint64_t packets_sent() const { return packets_sent_; }
+
+ private:
+  friend class DatagramEndpoint;
+  friend class Connection;
+  friend class Acceptor;
+
+  bool host_alive(sim::HostId id) const;
+  /// Schedules wire transit and delivery into the bound inbox (dropped if
+  /// either host dies first or nothing is bound on arrival).
+  void transmit(TransportKind kind, Packet packet);
+  void unbind(NetAddr addr);
+  void unlisten(NetAddr addr);
+  Port next_auto_port_ = 1 << 16;
+
+  sim::Engine& engine_;
+  std::vector<sim::HostPtr> hosts_;
+  std::map<NetAddr, DatagramEndpoint*> bindings_;
+  /// Last scheduled arrival per (src, dst) pair, enforcing per-pair FIFO.
+  std::map<std::pair<NetAddr, NetAddr>, sim::Time> last_delivery_;
+  std::map<NetAddr, Acceptor*> listeners_;
+  std::vector<std::weak_ptr<Connection::State>> conn_states_;
+  uint64_t packets_sent_ = 0;
+};
+
+}  // namespace starfish::net

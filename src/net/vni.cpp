@@ -1,0 +1,70 @@
+#include "net/vni.hpp"
+
+namespace starfish::net {
+
+Vni::Vni(Network& net, sim::Host& host, TransportKind kind, bool polling)
+    : net_(net),
+      kind_(kind),
+      polling_(polling),
+      endpoint_(net.bind_auto(host.id(), kind)),
+      rx_queue_(std::make_shared<sim::Channel<Packet>>(net.engine())) {
+  if (polling_) {
+    // The polling thread: moves arrived frames off the wire into the local
+    // receive queue. Its CPU time (the kernel interaction of a receive) is
+    // spent here, interleaved with application progress, not on the
+    // application's recv path. It captures only shared state — fiber
+    // wake-ups are asynchronous, so it can outlive the Vni object.
+    poller_ = host.spawn("vni-poller", [ep = endpoint_, rx = rx_queue_] {
+      // Close the local queue however the poller exits — including the
+      // FiberKilled unwind when the host crashes — so consumers blocked on
+      // recv() observe kClosed instead of hanging.
+      struct CloseOnExit {
+        sim::Channel<Packet>& q;
+        ~CloseOnExit() { q.close(); }
+      } closer{*rx};
+      for (;;) {
+        auto r = ep->recv();
+        if (!r.ok()) break;  // endpoint closed (shutdown or host death)
+        rx->send(std::move(*r.value));
+      }
+    });
+  }
+}
+
+Vni::~Vni() { shutdown(); }
+
+bool Vni::send(NetAddr dst, util::Bytes frame) {
+  const bool ok = endpoint_->send_raw(dst, std::move(frame));
+  if (ok) ++frames_sent_;
+  return ok;
+}
+
+sim::RecvResult<Packet> Vni::recv(sim::Time deadline) {
+  if (polling_) {
+    auto r = rx_queue_->recv(deadline);
+    if (r.ok()) ++frames_received_;
+    return r;
+  }
+  auto r = endpoint_->recv(deadline);
+  if (r.ok()) {
+    ++frames_received_;
+    // No polling thread: the kernel interaction happens here, on the
+    // application's critical path (paper section 2.2.1).
+    net_.engine().advance(model().blocking_recv_penalty);
+  }
+  return r;
+}
+
+std::optional<Packet> Vni::try_recv() {
+  auto v = polling_ ? rx_queue_->try_recv() : endpoint_->try_recv();
+  if (v) ++frames_received_;
+  return v;
+}
+
+void Vni::shutdown() {
+  endpoint_->close();
+  if (!polling_) return;
+  rx_queue_->close();
+}
+
+}  // namespace starfish::net

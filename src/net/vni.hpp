@@ -1,0 +1,63 @@
+// Virtual Network Interface (paper section 2.2).
+//
+// The VNI is the thin, per-application-process layer between the MPI module
+// and a concrete network. Porting Starfish to a new fast network only
+// requires a new TransportModel behind this interface. The VNI owns the
+// process's data-path endpoint and the *polling thread* of section 2.2.1: a
+// low-priority fiber that continuously drains the wire inbox into a local
+// receive queue so that the kernel interaction of a receive is interleaved
+// with computation instead of sitting on the application's critical path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "net/network.hpp"
+#include "sim/host.hpp"
+
+namespace starfish::net {
+
+class Vni {
+ public:
+  /// Binds a fresh data-path port on `host`. With `polling` false the VNI
+  /// models a conventional blocking receive (ablation B): each recv pays the
+  /// transport's blocking_recv_penalty on the caller's critical path.
+  Vni(Network& net, sim::Host& host, TransportKind kind, bool polling = true);
+  ~Vni();
+  Vni(const Vni&) = delete;
+  Vni& operator=(const Vni&) = delete;
+
+  NetAddr addr() const { return endpoint_->addr(); }
+  TransportKind transport() const { return kind_; }
+  const TransportModel& model() const { return model_for(kind_); }
+  bool polling() const { return polling_; }
+
+  /// Puts one frame on the wire. Zero-copy: cost is size-independent.
+  bool send(NetAddr dst, util::Bytes frame);
+
+  /// Next frame for this process (from the receive queue when polling,
+  /// straight from the wire otherwise).
+  sim::RecvResult<Packet> recv(sim::Time deadline = -1);
+  std::optional<Packet> try_recv();
+  /// Frames already queued locally (polled but not yet consumed).
+  size_t queued() const { return polling_ ? rx_queue_->pending() : endpoint_->pending(); }
+
+  void shutdown();
+
+  uint64_t frames_sent() const { return frames_sent_; }
+  uint64_t frames_received() const { return frames_received_; }
+
+ private:
+  Network& net_;
+  TransportKind kind_;
+  bool polling_;
+  DatagramEndpointPtr endpoint_;
+  /// Shared with the poller fiber, which may briefly outlive this object
+  /// (fiber wake-ups are asynchronous); the poller never touches `this`.
+  std::shared_ptr<sim::Channel<Packet>> rx_queue_;
+  sim::FiberPtr poller_;
+  uint64_t frames_sent_ = 0;
+  uint64_t frames_received_ = 0;
+};
+
+}  // namespace starfish::net

@@ -1,0 +1,196 @@
+#include "sim/engine.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/log.hpp"
+
+namespace starfish::sim {
+
+namespace {
+constexpr size_t kStackBytes = 256 * 1024;
+
+// makecontext passes only ints; the fiber pointer travels as two halves.
+Fiber* unpack_fiber(unsigned hi, unsigned lo) {
+  uintptr_t p = (static_cast<uintptr_t>(hi) << 32) | static_cast<uintptr_t>(lo);
+  return reinterpret_cast<Fiber*>(p);
+}
+}  // namespace
+
+// ---------------------------------------------------------------- Fiber ----
+
+Fiber::Fiber(Engine& engine, std::string name, std::function<void()> body)
+    : engine_(engine), name_(std::move(name)), id_(engine.next_fiber_id_++), body_(std::move(body)) {
+  const long page = sysconf(_SC_PAGESIZE);
+  stack_total_ = kStackBytes + static_cast<size_t>(page);
+  stack_base_ = mmap(nullptr, stack_total_, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (stack_base_ == MAP_FAILED) {
+    std::perror("starfish: fiber stack mmap");
+    std::abort();
+  }
+  // Guard page at the low end catches stack overflow with a SIGSEGV instead
+  // of silent corruption.
+  mprotect(stack_base_, static_cast<size_t>(page), PROT_NONE);
+
+  getcontext(&context_);
+  context_.uc_stack.ss_sp = static_cast<char*>(stack_base_) + page;
+  context_.uc_stack.ss_size = kStackBytes;
+  context_.uc_link = &engine_.main_context_;
+  const uintptr_t p = reinterpret_cast<uintptr_t>(this);
+  makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::trampoline_entry), 2,
+              static_cast<unsigned>(p >> 32), static_cast<unsigned>(p & 0xffffffffu));
+}
+
+Fiber::~Fiber() {
+  if (stack_base_ != nullptr) munmap(stack_base_, stack_total_);
+}
+
+void Fiber::trampoline_entry(unsigned hi, unsigned lo) {
+  Fiber* self = unpack_fiber(hi, lo);
+  self->run_body();
+  // Returning lets ucontext switch to uc_link (the main context); the engine
+  // observes kFinished there.
+}
+
+void Fiber::run_body() {
+  try {
+    body_();
+  } catch (const FiberKilled&) {
+    // Expected unwind path for killed fibers.
+  } catch (const std::exception& e) {
+    STARFISH_LOG(kError, "sim") << "fiber '" << name_ << "' died with exception: " << e.what();
+  }
+  state_ = FiberState::kFinished;
+  engine_.fiber_exited();
+}
+
+// --------------------------------------------------------------- Engine ----
+
+Engine::~Engine() {
+  // Unblockable cleanup: any still-suspended fiber stacks are released
+  // without unwinding. Long-lived simulations should kill fibers and drain
+  // the queue before destroying the engine; tests that end mid-simulation
+  // rely on this path.
+}
+
+void Engine::schedule(Duration delay, std::function<void()> fn) {
+  assert(delay >= 0);
+  queue_.push(Event{now_ + delay, next_seq_++, std::move(fn)});
+}
+
+FiberPtr Engine::spawn(std::string name, std::function<void()> body, Duration delay) {
+  auto fiber = std::make_shared<Fiber>(*this, std::move(name), std::move(body));
+  fibers_.push_back(fiber);
+  fiber->state_ = FiberState::kRunnable;
+  schedule(delay, [this, fiber] {
+    if (fiber->state_ == FiberState::kRunnable && !fiber->killed_) resume(fiber.get());
+  });
+  return fiber;
+}
+
+void Engine::kill(const FiberPtr& fiber) {
+  Fiber* f = fiber.get();
+  if (f == nullptr || f->finished() || f->killed_) return;
+  f->killed_ = true;
+  if (f->state_ == FiberState::kBlocked) wake(f, WakeReason::kKilled);
+  // Runnable-but-not-yet-started fibers simply never start (spawn's start
+  // event checks killed_); running fibers throw at their next block.
+}
+
+void Engine::run() {
+  assert(current_ == nullptr && "Engine::run called from inside a fiber");
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    assert(ev.at >= now_);
+    now_ = ev.at;
+    ++events_executed_;
+    ev.fn();
+    // Periodically drop finished fibers so long simulations don't grow.
+    if ((events_executed_ & 0x3ff) == 0) {
+      std::erase_if(fibers_, [](const FiberPtr& f) { return f->finished() && f.use_count() == 1; });
+    }
+  }
+}
+
+void Engine::run_for(Duration d) {
+  assert(current_ == nullptr && "Engine::run_for called from inside a fiber");
+  const Time deadline = now_ + d;
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.at;
+    ++events_executed_;
+    ev.fn();
+  }
+  now_ = deadline;
+}
+
+void Engine::resume(Fiber* fiber) {
+  assert(current_ == nullptr && "nested fiber resume");
+  assert(!fiber->finished());
+  current_ = fiber;
+  fiber->state_ = FiberState::kRunning;
+  swapcontext(&main_context_, &fiber->context_);
+  current_ = nullptr;
+}
+
+void Engine::fiber_exited() {
+  // Called on the fiber's stack just before trampoline return; nothing to do
+  // beyond state bookkeeping (already set). Control flows to uc_link.
+}
+
+WakeReason Engine::block() {
+  Fiber* f = current_;
+  assert(f != nullptr && "block() outside a fiber");
+  if (f->killed_) throw FiberKilled{};
+  f->state_ = FiberState::kBlocked;
+  ++f->wait_epoch_;
+  swapcontext(&f->context_, &main_context_);
+  // Resumed.
+  if (f->wake_reason_ == WakeReason::kKilled || f->killed_) throw FiberKilled{};
+  return f->wake_reason_;
+}
+
+WakeReason Engine::block_until(Time deadline) {
+  Fiber* f = current_;
+  assert(f != nullptr && "block_until() outside a fiber");
+  if (f->killed_) throw FiberKilled{};
+  const uint64_t epoch = f->wait_epoch_ + 1;  // epoch this block will have
+  // Capture a shared_ptr: the timer may outlive the fiber if it is woken
+  // early by a signal and then finishes.
+  schedule(deadline - now_ < 0 ? 0 : deadline - now_,
+           [this, keep = f->shared_from_this(), epoch] {
+             if (keep->state_ == FiberState::kBlocked && keep->wait_epoch_ == epoch) {
+               wake(keep.get(), WakeReason::kTimer);
+             }
+           });
+  return block();
+}
+
+void Engine::sleep_until(Time t) {
+  (void)block_until(t);
+}
+
+void Engine::wake(Fiber* fiber, WakeReason reason) {
+  if (fiber == nullptr || fiber->state_ != FiberState::kBlocked) return;
+  fiber->state_ = FiberState::kRunnable;
+  fiber->wake_reason_ = reason;
+  const uint64_t epoch = fiber->wait_epoch_;
+  schedule(0, [this, keep = fiber->shared_from_this(), epoch] {
+    // The epoch and state checks make stale or duplicate wake events
+    // harmless (the fiber may already have resumed and re-blocked).
+    if (keep->state_ == FiberState::kRunnable && keep->wait_epoch_ == epoch &&
+        !keep->finished()) {
+      resume(keep.get());
+    }
+  });
+}
+
+
+}  // namespace starfish::sim

@@ -1,0 +1,103 @@
+// Deterministic discrete-event engine.
+//
+// Single-threaded: events execute on the main context in (time, sequence)
+// order, so two runs with the same seed are identical. Fibers are resumed by
+// events; blocking primitives park the current fiber and schedule/await a
+// wake event.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/fiber.hpp"
+#include "sim/time.hpp"
+
+namespace starfish::sim {
+
+class Engine {
+ public:
+  Engine() = default;
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  Time now() const { return now_; }
+
+  /// Schedules a plain callback at now() + delay. Callbacks run on the main
+  /// context and must not block.
+  void schedule(Duration delay, std::function<void()> fn);
+
+  /// Creates a fiber and schedules it to start at now() + delay.
+  FiberPtr spawn(std::string name, std::function<void()> body, Duration delay = 0);
+
+  /// Kills a fiber: a blocked fiber is woken with WakeReason::kKilled (its
+  /// blocking primitive throws FiberKilled); a runnable/running fiber throws
+  /// at its next blocking point. Idempotent.
+  void kill(const FiberPtr& fiber);
+
+  /// Runs events until the queue is empty.
+  void run();
+  /// Runs events with timestamp <= now()+d, then sets now() = start+d.
+  void run_for(Duration d);
+  /// True if no events remain.
+  bool idle() const { return queue_.empty(); }
+  uint64_t events_executed() const { return events_executed_; }
+
+  // --- Fiber-side API (call only from inside a fiber) ---
+
+  /// The currently running fiber, or nullptr when on the main context.
+  Fiber* current() const { return current_; }
+
+  /// Suspends the current fiber until t (virtual time). Throws FiberKilled
+  /// if killed while sleeping.
+  void sleep_until(Time t);
+  void sleep(Duration d) { sleep_until(now_ + d); }
+  /// Charges CPU time to the current fiber; identical to sleep but named for
+  /// intent at call sites that model computation.
+  void advance(Duration d) { sleep(d); }
+  /// Cooperative yield: requeue at the current time (after already-queued
+  /// same-time events).
+  void yield() { sleep(0); }
+
+  /// Parks the current fiber indefinitely; resumed by wake(). Returns the
+  /// wake reason (kKilled is turned into a FiberKilled throw before return).
+  WakeReason block();
+  /// Parks with a deadline; returns kTimer if the deadline fired first.
+  WakeReason block_until(Time deadline);
+
+  /// Wakes a blocked fiber (no-op if not blocked or already woken).
+  void wake(Fiber* fiber, WakeReason reason = WakeReason::kSignal);
+
+ private:
+  friend class Fiber;
+
+  struct Event {
+    Time at;
+    uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Event& o) const {
+      if (at != o.at) return at > o.at;
+      return seq > o.seq;
+    }
+  };
+
+  void resume(Fiber* fiber);
+  void fiber_exited();
+
+  Time now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t next_fiber_id_ = 1;
+  uint64_t events_executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+
+  Fiber* current_ = nullptr;
+  ucontext_t main_context_{};
+  /// Keeps fibers alive; swept opportunistically when finished.
+  std::vector<FiberPtr> fibers_;
+};
+
+}  // namespace starfish::sim

@@ -1,0 +1,66 @@
+// Cooperative fibers on POSIX ucontext with guarded mmap stacks.
+//
+// Each simulated entity — application process, daemon, polling thread,
+// failure detector — is a fiber. Fibers block on simulation primitives
+// (sleep, channel recv, condition wait); the engine resumes them at later
+// virtual times. Killing a fiber (host crash) unwinds its stack by throwing
+// FiberKilled from the next blocking point, so RAII cleanup still runs.
+#pragma once
+
+#include <ucontext.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace starfish::sim {
+
+class Engine;
+
+/// Thrown inside a fiber when it has been killed; caught by the trampoline.
+/// User code should let it propagate (catch-all handlers must rethrow it).
+struct FiberKilled {};
+
+enum class FiberState : uint8_t { kCreated, kRunnable, kRunning, kBlocked, kFinished };
+
+/// Why a blocked fiber was resumed.
+enum class WakeReason : uint8_t { kTimer, kSignal, kKilled, kClosed };
+
+class Fiber : public std::enable_shared_from_this<Fiber> {
+ public:
+  Fiber(Engine& engine, std::string name, std::function<void()> body);
+  ~Fiber();
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  const std::string& name() const { return name_; }
+  uint64_t id() const { return id_; }
+  FiberState state() const { return state_; }
+  bool finished() const { return state_ == FiberState::kFinished; }
+  bool killed() const { return killed_; }
+
+ private:
+  friend class Engine;
+  static void trampoline_entry(unsigned hi, unsigned lo);
+  void run_body();
+
+  Engine& engine_;
+  std::string name_;
+  uint64_t id_;
+  std::function<void()> body_;
+
+  FiberState state_ = FiberState::kCreated;
+  bool killed_ = false;
+  WakeReason wake_reason_ = WakeReason::kSignal;
+  /// Incremented on every block; stale wake events compare against it.
+  uint64_t wait_epoch_ = 0;
+
+  ucontext_t context_{};
+  void* stack_base_ = nullptr;  // mmap'd region including guard page
+  size_t stack_total_ = 0;
+};
+
+using FiberPtr = std::shared_ptr<Fiber>;
+
+}  // namespace starfish::sim

@@ -1,0 +1,25 @@
+#include "sim/machine.hpp"
+
+#include <array>
+
+namespace starfish::sim {
+
+namespace {
+using util::Endian;
+
+const std::array<Machine, 6> kTable2 = {{
+    {"Intel P-II 350 MHz, i686", "RedHat 6.1 Linux", Endian::kLittle, 4},
+    {"Sun Ultra Enterprise 3000", "SunOS 5.7", Endian::kBig, 4},
+    {"RS/6000", "AIX 3.2", Endian::kBig, 4},
+    {"Intel P-I, 160 MHz", "FreeBSD 3.2", Endian::kLittle, 4},
+    {"Intel P-II, 350 MHz", "Win NT", Endian::kLittle, 4},
+    {"Dual Alpha DS20 500 MHz", "RedHat 6.2 Linux", Endian::kLittle, 8},
+}};
+
+const Machine kDefault = {"Intel P-II 300 MHz, i686", "RedHat 6.1 Linux", Endian::kLittle, 4};
+}  // namespace
+
+std::span<const Machine> table2_machines() { return {kTable2.data(), kTable2.size()}; }
+const Machine& default_machine() { return kDefault; }
+
+}  // namespace starfish::sim

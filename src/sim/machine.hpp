@@ -1,0 +1,38 @@
+// Machine descriptors for the heterogeneous cluster (paper Table 2).
+//
+// A simulated host carries a Machine describing the architecture the
+// (virtual) hardware would expose: endianness and word length are what
+// heterogeneous checkpointing must convert between; the arch/OS strings are
+// reporting labels.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "util/buffer.hpp"
+
+namespace starfish::sim {
+
+struct Machine {
+  std::string arch;   ///< e.g. "Intel P-II 350 MHz, i686"
+  std::string os;     ///< e.g. "RedHat 6.1 Linux"
+  util::Endian endian = util::Endian::kLittle;
+  uint8_t word_bytes = 4;  ///< native word length: 4 (32-bit) or 8 (64-bit)
+
+  bool same_representation(const Machine& o) const {
+    return endian == o.endian && word_bytes == o.word_bytes;
+  }
+  std::string label() const { return arch + " / " + os; }
+  /// Compact representation descriptor stored in checkpoint headers.
+  uint16_t repr_code() const {
+    return static_cast<uint16_t>((static_cast<uint16_t>(endian) << 8) | word_bytes);
+  }
+};
+
+/// The six machine types of Table 2, in paper order.
+std::span<const Machine> table2_machines();
+/// Default machine for homogeneous clusters (the paper's PII-300 Linux box).
+const Machine& default_machine();
+
+}  // namespace starfish::sim

@@ -1,0 +1,13 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+
+namespace starfish::sim {
+
+std::string format_time(Time t) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6f s", to_seconds(t));
+  return buf;
+}
+
+}  // namespace starfish::sim

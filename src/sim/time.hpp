@@ -1,0 +1,31 @@
+// Virtual time. The whole Starfish reproduction runs on a discrete-event
+// clock measured in integer nanoseconds: deterministic, and fine-grained
+// enough to model microsecond network latencies and multi-second disk writes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace starfish::sim {
+
+/// Nanoseconds since simulation start.
+using Time = int64_t;
+/// Nanosecond span.
+using Duration = int64_t;
+
+constexpr Duration kNanosecond = 1;
+constexpr Duration kMicrosecond = 1000;
+constexpr Duration kMillisecond = 1000 * kMicrosecond;
+constexpr Duration kSecond = 1000 * kMillisecond;
+
+constexpr Duration nanoseconds(int64_t n) { return n; }
+constexpr Duration microseconds(int64_t n) { return n * kMicrosecond; }
+constexpr Duration milliseconds(int64_t n) { return n * kMillisecond; }
+constexpr Duration seconds(double s) { return static_cast<Duration>(s * static_cast<double>(kSecond)); }
+
+constexpr double to_seconds(Duration d) { return static_cast<double>(d) / static_cast<double>(kSecond); }
+constexpr double to_micros(Duration d) { return static_cast<double>(d) / static_cast<double>(kMicrosecond); }
+
+std::string format_time(Time t);
+
+}  // namespace starfish::sim

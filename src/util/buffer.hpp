@@ -1,0 +1,174 @@
+// Byte buffers with explicit-endianness encode/decode.
+//
+// All Starfish wire formats (control messages, checkpoint images, the
+// management protocol's binary side) are built on Writer/Reader. Endianness
+// is always explicit because heterogeneous checkpointing (section 4 of the
+// paper) stores data in the *saving* machine's native representation and
+// converts on restore.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace starfish::util {
+
+enum class Endian : uint8_t { kLittle = 0, kBig = 1 };
+
+/// Endianness of the machine this library was compiled for (the "physical"
+/// host; simulated machines carry their own Representation).
+constexpr Endian native_endian() {
+  return std::endian::native == std::endian::little ? Endian::kLittle : Endian::kBig;
+}
+
+using Bytes = std::vector<std::byte>;
+
+inline std::span<const std::byte> as_bytes_view(const Bytes& b) { return {b.data(), b.size()}; }
+
+/// Appends fixed-width integers/floats/strings to a byte vector in a chosen
+/// endianness. Cheap value type; owns nothing but a reference to the target.
+class Writer {
+ public:
+  explicit Writer(Bytes& out, Endian endian = Endian::kLittle) : out_(out), endian_(endian) {}
+
+  Endian endian() const { return endian_; }
+  size_t size() const { return out_.size(); }
+
+  void u8(uint8_t v) { out_.push_back(std::byte{v}); }
+  void u16(uint16_t v) { put_int(v); }
+  void u32(uint32_t v) { put_int(v); }
+  void u64(uint64_t v) { put_int(v); }
+  void i32(int32_t v) { put_int(static_cast<uint32_t>(v)); }
+  void i64(int64_t v) { put_int(static_cast<uint64_t>(v)); }
+  void f64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    put_int(bits);
+  }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  /// Length-prefixed (u32) byte string.
+  void bytes(std::span<const std::byte> data) {
+    u32(static_cast<uint32_t>(data.size()));
+    raw(data);
+  }
+  void str(std::string_view s) {
+    bytes(std::as_bytes(std::span<const char>(s.data(), s.size())));
+  }
+  /// Raw append without a length prefix.
+  void raw(std::span<const std::byte> data) { out_.insert(out_.end(), data.begin(), data.end()); }
+
+ private:
+  template <typename U>
+  void put_int(U v) {
+    std::byte tmp[sizeof(U)];
+    for (size_t i = 0; i < sizeof(U); ++i) {
+      const unsigned shift =
+          endian_ == Endian::kLittle ? 8 * i : 8 * (sizeof(U) - 1 - i);
+      tmp[i] = static_cast<std::byte>((v >> shift) & 0xff);
+    }
+    out_.insert(out_.end(), tmp, tmp + sizeof(U));
+  }
+
+  Bytes& out_;
+  Endian endian_;
+};
+
+/// Bounds-checked decoder over a byte span. Decode failures surface as
+/// Error{"decode", ...} results rather than UB.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::byte> data, Endian endian = Endian::kLittle)
+      : data_(data), endian_(endian) {}
+
+  Endian endian() const { return endian_; }
+  void set_endian(Endian e) { endian_ = e; }
+  size_t remaining() const { return data_.size() - pos_; }
+  size_t position() const { return pos_; }
+  bool exhausted() const { return pos_ == data_.size(); }
+
+  Result<uint8_t> u8() {
+    if (remaining() < 1) return short_read("u8");
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+  Result<uint16_t> u16() { return get_int<uint16_t>("u16"); }
+  Result<uint32_t> u32() { return get_int<uint32_t>("u32"); }
+  Result<uint64_t> u64() { return get_int<uint64_t>("u64"); }
+  Result<int32_t> i32() {
+    auto r = get_int<uint32_t>("i32");
+    if (!r) return r.error();
+    return static_cast<int32_t>(r.value());
+  }
+  Result<int64_t> i64() {
+    auto r = get_int<uint64_t>("i64");
+    if (!r) return r.error();
+    return static_cast<int64_t>(r.value());
+  }
+  Result<double> f64() {
+    auto r = get_int<uint64_t>("f64");
+    if (!r) return r.error();
+    double v;
+    uint64_t bits = r.value();
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  Result<bool> boolean() {
+    auto r = u8();
+    if (!r) return r.error();
+    return r.value() != 0;
+  }
+
+  Result<Bytes> bytes() {
+    auto len = u32();
+    if (!len) return len.error();
+    if (remaining() < len.value()) return short_read("bytes");
+    Bytes out(data_.begin() + static_cast<ptrdiff_t>(pos_),
+              data_.begin() + static_cast<ptrdiff_t>(pos_ + len.value()));
+    pos_ += len.value();
+    return out;
+  }
+  Result<std::string> str() {
+    auto b = bytes();
+    if (!b) return b.error();
+    return std::string(reinterpret_cast<const char*>(b.value().data()), b.value().size());
+  }
+  /// Reads exactly n raw bytes (no length prefix).
+  Result<Bytes> raw(size_t n) {
+    if (remaining() < n) return short_read("raw");
+    Bytes out(data_.begin() + static_cast<ptrdiff_t>(pos_),
+              data_.begin() + static_cast<ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+
+ private:
+  template <typename U>
+  Result<U> get_int(const char* what) {
+    if (remaining() < sizeof(U)) return short_read(what);
+    U v = 0;
+    for (size_t i = 0; i < sizeof(U); ++i) {
+      const unsigned shift =
+          endian_ == Endian::kLittle ? 8 * i : 8 * (sizeof(U) - 1 - i);
+      v |= static_cast<U>(static_cast<U>(data_[pos_ + i]) << shift);
+    }
+    pos_ += sizeof(U);
+    return v;
+  }
+
+  Error short_read(const char* what) const {
+    return Error::make("decode", std::string("short read decoding ") + what);
+  }
+
+  std::span<const std::byte> data_;
+  size_t pos_ = 0;
+  Endian endian_;
+};
+
+}  // namespace starfish::util

@@ -1,0 +1,48 @@
+// Tiny leveled logger. Components tag their lines ("gcs", "daemon", ...);
+// tests run with the logger silenced, benches may enable kInfo for tracing.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace starfish::util {
+
+enum class LogLevel : uint8_t { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-global log level; defaults to kWarn so tests stay quiet.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Writes one formatted line to stderr if `level` passes the global filter.
+void log_line(LogLevel level, std::string_view component, std::string_view message);
+
+/// Stream-style convenience: LOG(kInfo, "gcs") << "view " << id;
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string_view component)
+      : level_(level), component_(component), enabled_(level >= log_level()) {}
+  ~LogStream() {
+    if (enabled_) log_line(level_, component_, stream_.str());
+  }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace starfish::util
+
+#define STARFISH_LOG(level, component) \
+  ::starfish::util::LogStream(::starfish::util::LogLevel::level, component)

@@ -1,0 +1,26 @@
+// Small string helpers used by the ASCII management protocol and formatters.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace starfish::util {
+
+std::vector<std::string> split(std::string_view s, char sep);
+/// Splits on runs of whitespace; no empty tokens.
+std::vector<std::string> split_ws(std::string_view s);
+std::string_view trim(std::string_view s);
+std::string to_upper(std::string_view s);
+std::string to_lower(std::string_view s);
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+std::optional<int64_t> parse_int(std::string_view s);
+
+/// "632 KB", "1.3 MB" style human-readable byte counts.
+std::string format_bytes(uint64_t bytes);
+/// Seconds with µs precision, e.g. "0.104061 s".
+std::string format_seconds(double seconds);
+
+}  // namespace starfish::util

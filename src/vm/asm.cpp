@@ -1,0 +1,196 @@
+// Two-pass assembler for the tiny text bytecode format used by tests and
+// example programs. Grammar per line (comments start with '#'):
+//   func <name> <nargs> <nlocals>
+//   <label>:
+//   <mnemonic> [operand]
+// Jump targets are label names; `call` takes a function name; `syscall`
+// takes a syscall name (print, rank, world_size, send_to, recv_from,
+// checkpoint, sleep_ms, spin).
+#include <map>
+#include <optional>
+
+#include "util/strings.hpp"
+#include "vm/bytecode.hpp"
+
+namespace starfish::vm {
+
+namespace {
+
+const std::map<std::string, Op> kMnemonics = {
+    {"nop", Op::kNop},           {"push_int", Op::kPushInt},
+    {"push_float", Op::kPushFloat}, {"push_bool", Op::kPushBool},
+    {"push_unit", Op::kPushUnit}, {"pop", Op::kPop},
+    {"dup", Op::kDup},           {"swap", Op::kSwap},
+    {"load_local", Op::kLoadLocal}, {"store_local", Op::kStoreLocal},
+    {"load_global", Op::kLoadGlobal}, {"store_global", Op::kStoreGlobal},
+    {"add", Op::kAdd},           {"sub", Op::kSub},
+    {"mul", Op::kMul},           {"div", Op::kDiv},
+    {"mod", Op::kMod},           {"neg", Op::kNeg},
+    {"fadd", Op::kFAdd},         {"fsub", Op::kFSub},
+    {"fmul", Op::kFMul},         {"fdiv", Op::kFDiv},
+    {"eq", Op::kEq},             {"ne", Op::kNe},
+    {"lt", Op::kLt},             {"le", Op::kLe},
+    {"gt", Op::kGt},             {"ge", Op::kGe},
+    {"and", Op::kAnd},           {"or", Op::kOr},
+    {"not", Op::kNot},           {"i2f", Op::kI2F},
+    {"f2i", Op::kF2I},           {"jmp", Op::kJmp},
+    {"jmp_if_false", Op::kJmpIfFalse}, {"call", Op::kCall},
+    {"ret", Op::kRet},           {"halt", Op::kHalt},
+    {"new_array", Op::kNewArray}, {"new_bytes", Op::kNewBytes},
+    {"aload", Op::kALoad},       {"astore", Op::kAStore},
+    {"alen", Op::kALen},         {"syscall", Op::kSyscall},
+};
+
+const std::map<std::string, Syscall> kSyscalls = {
+    {"print", Syscall::kPrint},         {"rank", Syscall::kRank},
+    {"world_size", Syscall::kWorldSize}, {"send_to", Syscall::kSendTo},
+    {"recv_from", Syscall::kRecvFrom},  {"checkpoint", Syscall::kCheckpoint},
+    {"sleep_ms", Syscall::kSleepMs},    {"spin", Syscall::kSpin},
+    {"barrier", Syscall::kBarrier},     {"allreduce_sum", Syscall::kAllreduceSum},
+};
+
+struct PendingJump {
+  size_t fn;
+  size_t instr;
+  std::string label;
+  int line_no;
+};
+
+struct PendingCall {
+  size_t fn;
+  size_t instr;
+  std::string callee;
+  int line_no;
+};
+
+util::Error err(int line, const std::string& what) {
+  return util::Error::make("asm", "line " + std::to_string(line) + ": " + what);
+}
+
+}  // namespace
+
+util::Result<Program> assemble(const std::string& source) {
+  Program prog;
+  // Per-function label table, resolved at end of each function.
+  std::map<std::string, uint32_t> labels;
+  std::vector<PendingJump> jumps;
+  std::vector<PendingCall> calls;
+  bool in_func = false;
+
+  auto close_function = [&]() -> std::optional<util::Error> {
+    for (const auto& j : jumps) {
+      auto it = labels.find(j.label);
+      if (it == labels.end()) return err(j.line_no, "unknown label '" + j.label + "'");
+      prog.functions[j.fn].code[j.instr].imm_i = it->second;
+    }
+    jumps.clear();
+    labels.clear();
+    return std::nullopt;
+  };
+
+  int line_no = 0;
+  for (const auto& raw_line : util::split(source, '\n')) {
+    ++line_no;
+    std::string_view line = util::trim(raw_line);
+    if (auto hash = line.find('#'); hash != std::string_view::npos) {
+      line = util::trim(line.substr(0, hash));
+    }
+    if (line.empty()) continue;
+
+    auto tokens = util::split_ws(line);
+    const std::string& head = tokens[0];
+
+    if (head == "func") {
+      if (tokens.size() != 4) return err(line_no, "func needs: name nargs nlocals");
+      if (in_func) {
+        if (auto e = close_function()) return *e;
+      }
+      Function fn;
+      fn.name = tokens[1];
+      auto nargs = util::parse_int(tokens[2]);
+      auto nlocals = util::parse_int(tokens[3]);
+      if (!nargs || !nlocals || *nargs < 0 || *nlocals < *nargs) {
+        return err(line_no, "bad arg/local counts");
+      }
+      fn.n_args = static_cast<uint32_t>(*nargs);
+      fn.n_locals = static_cast<uint32_t>(*nlocals);
+      prog.functions.push_back(std::move(fn));
+      in_func = true;
+      continue;
+    }
+
+    if (!in_func) return err(line_no, "instruction outside a function");
+    Function& fn = prog.functions.back();
+
+    if (head.size() > 1 && head.back() == ':') {
+      if (tokens.size() != 1) return err(line_no, "label must be alone on its line");
+      labels[head.substr(0, head.size() - 1)] = static_cast<uint32_t>(fn.code.size());
+      continue;
+    }
+
+    auto op_it = kMnemonics.find(head);
+    if (op_it == kMnemonics.end()) return err(line_no, "unknown mnemonic '" + head + "'");
+    Instr instr;
+    instr.op = op_it->second;
+
+    switch (instr.op) {
+      case Op::kPushInt:
+      case Op::kPushBool:
+      case Op::kLoadLocal:
+      case Op::kStoreLocal:
+      case Op::kLoadGlobal:
+      case Op::kStoreGlobal: {
+        if (tokens.size() != 2) return err(line_no, head + " needs an integer operand");
+        auto v = util::parse_int(tokens[1]);
+        if (!v) return err(line_no, "bad integer operand");
+        instr.imm_i = *v;
+        break;
+      }
+      case Op::kPushFloat: {
+        if (tokens.size() != 2) return err(line_no, "push_float needs an operand");
+        try {
+          instr.imm_f = std::stod(tokens[1]);
+        } catch (...) {
+          return err(line_no, "bad float operand");
+        }
+        break;
+      }
+      case Op::kJmp:
+      case Op::kJmpIfFalse: {
+        if (tokens.size() != 2) return err(line_no, head + " needs a label");
+        jumps.push_back({prog.functions.size() - 1, fn.code.size(), tokens[1], line_no});
+        break;
+      }
+      case Op::kCall: {
+        if (tokens.size() != 2) return err(line_no, "call needs a function name");
+        calls.push_back({prog.functions.size() - 1, fn.code.size(), tokens[1], line_no});
+        break;
+      }
+      case Op::kSyscall: {
+        if (tokens.size() != 2) return err(line_no, "syscall needs a name");
+        auto sys = kSyscalls.find(tokens[1]);
+        if (sys == kSyscalls.end()) return err(line_no, "unknown syscall '" + tokens[1] + "'");
+        instr.imm_i = static_cast<int64_t>(sys->second);
+        break;
+      }
+      default:
+        if (tokens.size() != 1) return err(line_no, head + " takes no operand");
+        break;
+    }
+    fn.code.push_back(instr);
+  }
+
+  if (in_func) {
+    if (auto e = close_function()) return *e;
+  }
+  // Calls may reference functions defined later; resolve after the whole
+  // file is parsed.
+  for (const auto& c : calls) {
+    const int idx = prog.function_index(c.callee);
+    if (idx < 0) return err(c.line_no, "unknown function '" + c.callee + "'");
+    prog.functions[c.fn].code[c.instr].imm_i = idx;
+  }
+  return prog;
+}
+
+}  // namespace starfish::vm

@@ -1,0 +1,93 @@
+// Bytecode definition for the Starfish VM.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace starfish::vm {
+
+enum class Op : uint8_t {
+  kNop = 0,
+  // Stack / constants.
+  kPushInt,    ///< operand: imm_i
+  kPushFloat,  ///< operand: imm_f
+  kPushBool,   ///< operand: imm_i (0/1)
+  kPushUnit,
+  kPop,
+  kDup,
+  kSwap,
+  // Locals / globals (operand: index).
+  kLoadLocal,
+  kStoreLocal,
+  kLoadGlobal,
+  kStoreGlobal,
+  // Arithmetic / logic (integers wrap to machine word; / and % trap on 0).
+  kAdd, kSub, kMul, kDiv, kMod, kNeg,
+  kFAdd, kFSub, kFMul, kFDiv,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr, kNot,
+  kI2F, kF2I,
+  // Control (operand: target pc / function index).
+  kJmp,
+  kJmpIfFalse,
+  kCall,   ///< operand: function index; args popped into locals[0..n)
+  kRet,    ///< pops return value, pops frame, pushes value
+  kHalt,
+  // Heap.
+  kNewArray,  ///< pops length; pushes ref (fields zeroed to unit)
+  kALoad,     ///< pops index, ref; pushes element
+  kAStore,    ///< pops value, index, ref
+  kALen,      ///< pops ref; pushes length
+  kNewBytes,  ///< pops length; pushes ref to byte object
+  // Host escape: operand selects the syscall (see Syscall).
+  kSyscall,
+};
+
+/// Host syscalls: the hooks the Starfish application module implements.
+/// MPI-ish calls block the hosting fiber until satisfied.
+enum class Syscall : uint8_t {
+  kPrint = 0,      ///< pops a value, prints via host hook
+  kRank = 1,       ///< pushes this process's rank
+  kWorldSize = 2,  ///< pushes the number of processes
+  kSendTo = 3,     ///< pops value, dest rank: send (tag 0)
+  kRecvFrom = 4,   ///< pops src rank; pushes received value
+  kCheckpoint = 5, ///< user-initiated checkpoint request (paper's downcall)
+  kSleepMs = 6,    ///< pops milliseconds; advances virtual time
+  kSpin = 7,       ///< pops loop count; pure compute (charged as CPU time)
+  kBarrier = 8,       ///< synchronize all ranks (collective)
+  kAllreduceSum = 9,  ///< pops an int; pushes the sum over all ranks
+};
+
+struct Instr {
+  Op op = Op::kNop;
+  int64_t imm_i = 0;
+  double imm_f = 0.0;
+};
+
+struct Function {
+  std::string name;
+  uint32_t n_args = 0;
+  uint32_t n_locals = 0;  ///< including args
+  std::vector<Instr> code;
+};
+
+struct Program {
+  std::vector<Function> functions;
+
+  int function_index(const std::string& name) const {
+    for (size_t i = 0; i < functions.size(); ++i) {
+      if (functions[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+/// Assembles the tiny text format used by tests and examples. One
+/// instruction per line; `func name nargs nlocals` opens a function; labels
+/// are `label:` lines, referenced by name in jmp/jmp_if_false.
+util::Result<Program> assemble(const std::string& source);
+
+}  // namespace starfish::vm

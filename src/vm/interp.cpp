@@ -1,0 +1,347 @@
+#include "vm/interp.hpp"
+
+namespace starfish::vm {
+
+void Interpreter::start(const std::string& entry) {
+  state_ = VmState{};
+  halted_ = false;
+  const int fn = program_.function_index(entry);
+  if (fn < 0) {
+    halted_ = true;
+    return;
+  }
+  Frame frame;
+  frame.function = static_cast<uint32_t>(fn);
+  frame.pc = 0;
+  frame.locals.assign(program_.functions[static_cast<size_t>(fn)].n_locals, Value::unit());
+  state_.frames.push_back(std::move(frame));
+}
+
+Value Interpreter::pop_value() {
+  if (state_.stack.empty()) return Value::unit();
+  Value v = state_.stack.back();
+  state_.stack.pop_back();
+  return v;
+}
+
+void Interpreter::push_value(Value v) { state_.stack.push_back(v); }
+
+RunResult Interpreter::trap(std::string why) {
+  halted_ = true;
+  RunResult r;
+  r.status = RunStatus::kTrap;
+  r.trap = std::move(why);
+  return r;
+}
+
+bool Interpreter::pop2_ints(int64_t& a, int64_t& b, RunResult& out) {
+  if (state_.stack.size() < 2) {
+    out = trap("stack underflow");
+    return false;
+  }
+  Value vb = pop_value(), va = pop_value();
+  if (va.tag != Tag::kInt || vb.tag != Tag::kInt) {
+    out = trap("type error: expected two ints");
+    return false;
+  }
+  a = va.i;
+  b = vb.i;
+  return true;
+}
+
+bool Interpreter::pop2_floats(double& a, double& b, RunResult& out) {
+  if (state_.stack.size() < 2) {
+    out = trap("stack underflow");
+    return false;
+  }
+  Value vb = pop_value(), va = pop_value();
+  if (va.tag != Tag::kFloat || vb.tag != Tag::kFloat) {
+    out = trap("type error: expected two floats");
+    return false;
+  }
+  a = va.f;
+  b = vb.f;
+  return true;
+}
+
+RunResult Interpreter::run(uint64_t max_steps) {
+  RunResult out;
+  if (halted_) {
+    out.status = RunStatus::kHalted;
+    return out;
+  }
+  auto wrap = [this](int64_t v) { return wrap_to_word(v, machine_); };
+
+  for (uint64_t step = 0; step < max_steps; ++step) {
+    if (state_.frames.empty()) {
+      halted_ = true;
+      out.status = RunStatus::kHalted;
+      return out;
+    }
+    Frame& frame = state_.frames.back();
+    if (frame.function >= program_.functions.size()) return trap("bad function index");
+    const Function& fn = program_.functions[frame.function];
+    if (frame.pc >= fn.code.size()) return trap("pc out of range in " + fn.name);
+    const Instr& instr = fn.code[frame.pc];
+    ++frame.pc;
+    ++state_.steps_executed;
+
+    switch (instr.op) {
+      case Op::kNop: break;
+      case Op::kPushInt: push_value(Value::integer(wrap(instr.imm_i))); break;
+      case Op::kPushFloat: push_value(Value::real(instr.imm_f)); break;
+      case Op::kPushBool: push_value(Value::boolean(instr.imm_i != 0)); break;
+      case Op::kPushUnit: push_value(Value::unit()); break;
+      case Op::kPop:
+        if (state_.stack.empty()) return trap("pop on empty stack");
+        state_.stack.pop_back();
+        break;
+      case Op::kDup:
+        if (state_.stack.empty()) return trap("dup on empty stack");
+        push_value(state_.stack.back());
+        break;
+      case Op::kSwap: {
+        if (state_.stack.size() < 2) return trap("swap underflow");
+        std::swap(state_.stack[state_.stack.size() - 1], state_.stack[state_.stack.size() - 2]);
+        break;
+      }
+      case Op::kLoadLocal: {
+        const auto idx = static_cast<size_t>(instr.imm_i);
+        if (idx >= frame.locals.size()) return trap("local index out of range");
+        push_value(frame.locals[idx]);
+        break;
+      }
+      case Op::kStoreLocal: {
+        const auto idx = static_cast<size_t>(instr.imm_i);
+        if (idx >= frame.locals.size()) return trap("local index out of range");
+        if (state_.stack.empty()) return trap("store_local underflow");
+        frame.locals[idx] = pop_value();
+        break;
+      }
+      case Op::kLoadGlobal: {
+        const auto idx = static_cast<size_t>(instr.imm_i);
+        if (idx >= state_.globals.size()) state_.globals.resize(idx + 1, Value::unit());
+        push_value(state_.globals[idx]);
+        break;
+      }
+      case Op::kStoreGlobal: {
+        const auto idx = static_cast<size_t>(instr.imm_i);
+        if (idx >= state_.globals.size()) state_.globals.resize(idx + 1, Value::unit());
+        if (state_.stack.empty()) return trap("store_global underflow");
+        state_.globals[idx] = pop_value();
+        break;
+      }
+
+      case Op::kAdd: case Op::kSub: case Op::kMul: case Op::kDiv: case Op::kMod: {
+        int64_t a, b;
+        if (!pop2_ints(a, b, out)) return out;
+        int64_t r = 0;
+        switch (instr.op) {
+          case Op::kAdd: r = a + b; break;
+          case Op::kSub: r = a - b; break;
+          case Op::kMul: r = a * b; break;
+          case Op::kDiv:
+            if (b == 0) return trap("division by zero");
+            r = a / b;
+            break;
+          case Op::kMod:
+            if (b == 0) return trap("modulo by zero");
+            r = a % b;
+            break;
+          default: break;
+        }
+        push_value(Value::integer(wrap(r)));
+        break;
+      }
+      case Op::kNeg: {
+        Value v = pop_value();
+        if (v.tag == Tag::kInt) {
+          push_value(Value::integer(wrap(-v.i)));
+        } else if (v.tag == Tag::kFloat) {
+          push_value(Value::real(-v.f));
+        } else {
+          return trap("neg on non-number");
+        }
+        break;
+      }
+      case Op::kFAdd: case Op::kFSub: case Op::kFMul: case Op::kFDiv: {
+        double a, b;
+        if (!pop2_floats(a, b, out)) return out;
+        double r = 0;
+        switch (instr.op) {
+          case Op::kFAdd: r = a + b; break;
+          case Op::kFSub: r = a - b; break;
+          case Op::kFMul: r = a * b; break;
+          case Op::kFDiv: r = a / b; break;
+          default: break;
+        }
+        push_value(Value::real(r));
+        break;
+      }
+      case Op::kEq: case Op::kNe: case Op::kLt: case Op::kLe: case Op::kGt: case Op::kGe: {
+        if (state_.stack.size() < 2) return trap("compare underflow");
+        Value vb = pop_value(), va = pop_value();
+        double a, b;
+        if (va.tag == Tag::kInt && vb.tag == Tag::kInt) {
+          a = static_cast<double>(va.i);
+          b = static_cast<double>(vb.i);
+        } else if (va.tag == Tag::kFloat && vb.tag == Tag::kFloat) {
+          a = va.f;
+          b = vb.f;
+        } else if (va.tag == Tag::kBool && vb.tag == Tag::kBool) {
+          a = static_cast<double>(va.i);
+          b = static_cast<double>(vb.i);
+        } else {
+          return trap("compare type mismatch");
+        }
+        bool r = false;
+        switch (instr.op) {
+          case Op::kEq: r = a == b; break;
+          case Op::kNe: r = a != b; break;
+          case Op::kLt: r = a < b; break;
+          case Op::kLe: r = a <= b; break;
+          case Op::kGt: r = a > b; break;
+          case Op::kGe: r = a >= b; break;
+          default: break;
+        }
+        push_value(Value::boolean(r));
+        break;
+      }
+      case Op::kAnd: case Op::kOr: {
+        int64_t a, b;
+        if (!pop2_ints(a, b, out)) return out;
+        push_value(Value::integer(instr.op == Op::kAnd ? (a & b) : (a | b)));
+        break;
+      }
+      case Op::kNot: {
+        Value v = pop_value();
+        if (v.tag != Tag::kBool) return trap("not on non-bool");
+        push_value(Value::boolean(v.i == 0));
+        break;
+      }
+      case Op::kI2F: {
+        Value v = pop_value();
+        if (v.tag != Tag::kInt) return trap("i2f on non-int");
+        push_value(Value::real(static_cast<double>(v.i)));
+        break;
+      }
+      case Op::kF2I: {
+        Value v = pop_value();
+        if (v.tag != Tag::kFloat) return trap("f2i on non-float");
+        push_value(Value::integer(wrap(static_cast<int64_t>(v.f))));
+        break;
+      }
+
+      case Op::kJmp:
+        frame.pc = static_cast<uint32_t>(instr.imm_i);
+        break;
+      case Op::kJmpIfFalse: {
+        Value v = pop_value();
+        if (v.tag != Tag::kBool) return trap("jmp_if_false on non-bool");
+        if (v.i == 0) frame.pc = static_cast<uint32_t>(instr.imm_i);
+        break;
+      }
+      case Op::kCall: {
+        const auto callee_idx = static_cast<size_t>(instr.imm_i);
+        if (callee_idx >= program_.functions.size()) return trap("call: bad function");
+        const Function& callee = program_.functions[callee_idx];
+        if (state_.stack.size() < callee.n_args) return trap("call: missing args");
+        Frame next;
+        next.function = static_cast<uint32_t>(callee_idx);
+        next.pc = 0;
+        next.locals.assign(callee.n_locals, Value::unit());
+        for (uint32_t a = callee.n_args; a > 0; --a) next.locals[a - 1] = pop_value();
+        state_.frames.push_back(std::move(next));
+        break;
+      }
+      case Op::kRet: {
+        Value v = state_.stack.empty() ? Value::unit() : pop_value();
+        state_.frames.pop_back();
+        if (state_.frames.empty()) {
+          halted_ = true;
+          out.status = RunStatus::kHalted;
+          return out;
+        }
+        push_value(v);
+        break;
+      }
+      case Op::kHalt:
+        halted_ = true;
+        out.status = RunStatus::kHalted;
+        return out;
+
+      case Op::kNewArray: {
+        Value len = pop_value();
+        if (len.tag != Tag::kInt || len.i < 0) return trap("new_array: bad length");
+        HeapObject obj;
+        obj.kind = HeapObject::Kind::kArray;
+        obj.fields.assign(static_cast<size_t>(len.i), Value::unit());
+        state_.heap.push_back(std::move(obj));
+        push_value(Value::reference(static_cast<HeapIndex>(state_.heap.size() - 1)));
+        break;
+      }
+      case Op::kNewBytes: {
+        Value len = pop_value();
+        if (len.tag != Tag::kInt || len.i < 0) return trap("new_bytes: bad length");
+        HeapObject obj;
+        obj.kind = HeapObject::Kind::kBytes;
+        obj.bytes.assign(static_cast<size_t>(len.i), std::byte{0});
+        state_.heap.push_back(std::move(obj));
+        push_value(Value::reference(static_cast<HeapIndex>(state_.heap.size() - 1)));
+        break;
+      }
+      case Op::kALoad: {
+        if (state_.stack.size() < 2) return trap("aload underflow");
+        Value idx = pop_value(), ref = pop_value();
+        if (ref.tag != Tag::kRef || idx.tag != Tag::kInt) return trap("aload: bad operands");
+        if (ref.ref >= state_.heap.size()) return trap("aload: dangling ref");
+        HeapObject& obj = state_.heap[ref.ref];
+        if (obj.kind != HeapObject::Kind::kArray) return trap("aload: not an array");
+        if (idx.i < 0 || static_cast<size_t>(idx.i) >= obj.fields.size()) {
+          return trap("aload: index out of bounds");
+        }
+        push_value(obj.fields[static_cast<size_t>(idx.i)]);
+        break;
+      }
+      case Op::kAStore: {
+        if (state_.stack.size() < 3) return trap("astore underflow");
+        Value val = pop_value(), idx = pop_value(), ref = pop_value();
+        if (ref.tag != Tag::kRef || idx.tag != Tag::kInt) return trap("astore: bad operands");
+        if (ref.ref >= state_.heap.size()) return trap("astore: dangling ref");
+        HeapObject& obj = state_.heap[ref.ref];
+        if (obj.kind != HeapObject::Kind::kArray) return trap("astore: not an array");
+        if (idx.i < 0 || static_cast<size_t>(idx.i) >= obj.fields.size()) {
+          return trap("astore: index out of bounds");
+        }
+        obj.fields[static_cast<size_t>(idx.i)] = val;
+        break;
+      }
+      case Op::kALen: {
+        Value ref = pop_value();
+        if (ref.tag != Tag::kRef || ref.ref >= state_.heap.size()) return trap("alen: bad ref");
+        const HeapObject& obj = state_.heap[ref.ref];
+        const size_t n = obj.kind == HeapObject::Kind::kArray ? obj.fields.size()
+                                                              : obj.bytes.size();
+        push_value(Value::integer(static_cast<int64_t>(n)));
+        break;
+      }
+
+      case Op::kSyscall:
+        // Restartable syscalls: pc stays AT the syscall instruction (and the
+        // operand stack untouched) until the host calls complete_syscall().
+        // A checkpoint taken while the process is blocked inside a syscall
+        // therefore captures a consistent "about to execute it" state, and a
+        // restore simply re-executes the call (receives are replayed from
+        // the saved channel state).
+        --frame.pc;
+        --state_.steps_executed;
+        out.status = RunStatus::kSyscall;
+        out.syscall = static_cast<Syscall>(instr.imm_i);
+        return out;
+    }
+  }
+  out.status = RunStatus::kRunning;
+  return out;
+}
+
+}  // namespace starfish::vm

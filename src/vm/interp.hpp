@@ -1,0 +1,83 @@
+// Bytecode interpreter with a host-escape (syscall) protocol.
+//
+// The interpreter never touches the network or the clock itself: when the
+// program executes a syscall it returns control to the host (the Starfish
+// application module), which performs the operation — possibly blocking its
+// fiber on MPI traffic or a checkpoint — and resumes. This is what makes a
+// VM program checkpointable at any syscall boundary and restartable on a
+// different machine.
+#pragma once
+
+#include <string>
+
+#include "vm/bytecode.hpp"
+#include "vm/value.hpp"
+
+namespace starfish::vm {
+
+enum class RunStatus : uint8_t {
+  kRunning = 0,  ///< step budget exhausted, more work to do
+  kHalted,
+  kTrap,
+  kSyscall,  ///< host must service pending_syscall() and call run() again
+};
+
+struct RunResult {
+  RunStatus status = RunStatus::kRunning;
+  Syscall syscall = Syscall::kPrint;
+  std::string trap;
+};
+
+class Interpreter {
+ public:
+  Interpreter(const Program& program, sim::Machine machine)
+      : program_(program), machine_(std::move(machine)) {}
+
+  /// Resets state and enters `entry` (trap if missing).
+  void start(const std::string& entry = "main");
+
+  /// Executes until halt, trap, syscall, or `max_steps` instructions.
+  RunResult run(uint64_t max_steps = UINT64_MAX);
+
+  // --- syscall servicing (host side) ---
+  Value pop_value();
+  void push_value(Value v);
+  /// Peeks `depth` values below the top of the stack (0 = top) without
+  /// popping — used to read syscall arguments while keeping the state
+  /// restartable during a blocking operation.
+  Value peek_value(size_t depth = 0) const {
+    if (depth >= state_.stack.size()) return Value::unit();
+    return state_.stack[state_.stack.size() - 1 - depth];
+  }
+  /// Marks the pending syscall done: advances past the instruction. Call
+  /// after popping the arguments and pushing any result.
+  void complete_syscall() {
+    if (!state_.frames.empty()) {
+      ++state_.frames.back().pc;
+      ++state_.steps_executed;
+    }
+  }
+
+  // --- state access (checkpointing) ---
+  const VmState& state() const { return state_; }
+  VmState& mutable_state() { return state_; }
+  /// Installs a restored state; arithmetic continues under this
+  /// interpreter's machine (which may differ from the saving machine).
+  void set_state(VmState s) { state_ = std::move(s); halted_ = false; }
+
+  const sim::Machine& machine() const { return machine_; }
+  const Program& program() const { return program_; }
+  bool halted() const { return halted_; }
+
+ private:
+  RunResult trap(std::string why);
+  bool pop2_ints(int64_t& a, int64_t& b, RunResult& out);
+  bool pop2_floats(double& a, double& b, RunResult& out);
+
+  const Program& program_;
+  sim::Machine machine_;
+  VmState state_;
+  bool halted_ = false;
+};
+
+}  // namespace starfish::vm

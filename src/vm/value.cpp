@@ -1,0 +1,36 @@
+#include "vm/value.hpp"
+
+namespace starfish::vm {
+
+std::string Value::to_string() const {
+  switch (tag) {
+    case Tag::kUnit: return "()";
+    case Tag::kInt: return std::to_string(i);
+    case Tag::kFloat: return std::to_string(f);
+    case Tag::kBool: return i ? "true" : "false";
+    case Tag::kRef: return "ref#" + std::to_string(ref);
+  }
+  return "?";
+}
+
+uint64_t VmState::footprint_bytes() const {
+  uint64_t total = 0;
+  total += (globals.size() + stack.size()) * sizeof(Value);
+  for (const auto& f : frames) total += sizeof(Frame) + f.locals.size() * sizeof(Value);
+  for (const auto& o : heap) {
+    total += sizeof(HeapObject) + o.fields.size() * sizeof(Value) + o.bytes.size();
+  }
+  return total;
+}
+
+int64_t wrap_to_word(int64_t v, const sim::Machine& machine) {
+  if (machine.word_bytes >= 8) return v;
+  return static_cast<int64_t>(static_cast<int32_t>(static_cast<uint64_t>(v) & 0xffffffffu));
+}
+
+bool fits_word(int64_t v, const sim::Machine& machine) {
+  if (machine.word_bytes >= 8) return true;
+  return v >= INT32_MIN && v <= INT32_MAX;
+}
+
+}  // namespace starfish::vm

@@ -1,0 +1,84 @@
+// Value and state model of the Starfish virtual machine.
+//
+// The paper checkpoints OCaml bytecode programs at the virtual-machine level
+// so that a state saved on one architecture restores on another (section 4,
+// [2]). We reproduce the essential property with a small stack VM: its
+// complete execution state — globals, operand stack, call frames, heap — is
+// a plain data structure with *no* host pointers, so it can be serialized in
+// the saving machine's native representation and converted on restore.
+//
+// Word-size semantics matter for heterogeneity: integer arithmetic wraps to
+// the simulated machine's word length (32- or 64-bit), exactly the hazard
+// heterogeneous checkpointing has to preserve and check.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "util/buffer.hpp"
+
+namespace starfish::vm {
+
+using HeapIndex = uint32_t;
+constexpr HeapIndex kNullRef = UINT32_MAX;
+
+enum class Tag : uint8_t { kUnit = 0, kInt = 1, kFloat = 2, kBool = 3, kRef = 4 };
+
+struct Value {
+  Tag tag = Tag::kUnit;
+  int64_t i = 0;       ///< kInt (wrapped to machine word) / kBool (0 or 1)
+  double f = 0.0;      ///< kFloat
+  HeapIndex ref = kNullRef;  ///< kRef
+
+  static Value unit() { return {}; }
+  static Value integer(int64_t v) { return Value{Tag::kInt, v, 0.0, kNullRef}; }
+  static Value real(double v) { return Value{Tag::kFloat, 0, v, kNullRef}; }
+  static Value boolean(bool v) { return Value{Tag::kBool, v ? 1 : 0, 0.0, kNullRef}; }
+  static Value reference(HeapIndex h) { return Value{Tag::kRef, 0, 0.0, h}; }
+
+  bool operator==(const Value&) const = default;
+  std::string to_string() const;
+};
+
+/// Heap object: an array of values or a byte string.
+struct HeapObject {
+  enum class Kind : uint8_t { kArray = 0, kBytes = 1 };
+  Kind kind = Kind::kArray;
+  std::vector<Value> fields;  ///< kArray
+  util::Bytes bytes;          ///< kBytes
+
+  bool operator==(const HeapObject&) const = default;
+};
+
+/// One call frame: function index, program counter, locals.
+struct Frame {
+  uint32_t function = 0;
+  uint32_t pc = 0;
+  std::vector<Value> locals;
+
+  bool operator==(const Frame&) const = default;
+};
+
+/// The complete machine-independent execution state (plus the machine whose
+/// word semantics currently govern arithmetic).
+struct VmState {
+  std::vector<Value> globals;
+  std::vector<Value> stack;
+  std::vector<Frame> frames;
+  std::vector<HeapObject> heap;
+  uint64_t steps_executed = 0;
+
+  bool operator==(const VmState&) const = default;
+
+  /// Rough in-memory footprint; drives simulated-disk accounting.
+  uint64_t footprint_bytes() const;
+};
+
+/// Wraps an integer to the word length of `machine` (two's complement).
+int64_t wrap_to_word(int64_t v, const sim::Machine& machine);
+/// True iff `v` is representable in `machine`'s word.
+bool fits_word(int64_t v, const sim::Machine& machine);
+
+}  // namespace starfish::vm

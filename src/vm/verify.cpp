@@ -1,0 +1,191 @@
+#include "vm/verify.hpp"
+
+#include <map>
+#include <set>
+
+namespace starfish::vm {
+
+namespace {
+
+const char* mnemonic(Op op) {
+  switch (op) {
+    case Op::kNop: return "nop";
+    case Op::kPushInt: return "push_int";
+    case Op::kPushFloat: return "push_float";
+    case Op::kPushBool: return "push_bool";
+    case Op::kPushUnit: return "push_unit";
+    case Op::kPop: return "pop";
+    case Op::kDup: return "dup";
+    case Op::kSwap: return "swap";
+    case Op::kLoadLocal: return "load_local";
+    case Op::kStoreLocal: return "store_local";
+    case Op::kLoadGlobal: return "load_global";
+    case Op::kStoreGlobal: return "store_global";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kMul: return "mul";
+    case Op::kDiv: return "div";
+    case Op::kMod: return "mod";
+    case Op::kNeg: return "neg";
+    case Op::kFAdd: return "fadd";
+    case Op::kFSub: return "fsub";
+    case Op::kFMul: return "fmul";
+    case Op::kFDiv: return "fdiv";
+    case Op::kEq: return "eq";
+    case Op::kNe: return "ne";
+    case Op::kLt: return "lt";
+    case Op::kLe: return "le";
+    case Op::kGt: return "gt";
+    case Op::kGe: return "ge";
+    case Op::kAnd: return "and";
+    case Op::kOr: return "or";
+    case Op::kNot: return "not";
+    case Op::kI2F: return "i2f";
+    case Op::kF2I: return "f2i";
+    case Op::kJmp: return "jmp";
+    case Op::kJmpIfFalse: return "jmp_if_false";
+    case Op::kCall: return "call";
+    case Op::kRet: return "ret";
+    case Op::kHalt: return "halt";
+    case Op::kNewArray: return "new_array";
+    case Op::kNewBytes: return "new_bytes";
+    case Op::kALoad: return "aload";
+    case Op::kAStore: return "astore";
+    case Op::kALen: return "alen";
+    case Op::kSyscall: return "syscall";
+  }
+  return "?";
+}
+
+const char* syscall_name(Syscall s) {
+  switch (s) {
+    case Syscall::kPrint: return "print";
+    case Syscall::kRank: return "rank";
+    case Syscall::kWorldSize: return "world_size";
+    case Syscall::kSendTo: return "send_to";
+    case Syscall::kRecvFrom: return "recv_from";
+    case Syscall::kCheckpoint: return "checkpoint";
+    case Syscall::kSleepMs: return "sleep_ms";
+    case Syscall::kSpin: return "spin";
+    case Syscall::kBarrier: return "barrier";
+    case Syscall::kAllreduceSum: return "allreduce_sum";
+  }
+  return nullptr;
+}
+
+util::Error bad(const Function& fn, size_t pc, const std::string& what) {
+  return util::Error::make(
+      "verify", fn.name + "+" + std::to_string(pc) + ": " + what);
+}
+
+}  // namespace
+
+util::Status validate(const Program& program) {
+  if (program.functions.empty()) {
+    return util::Error::make("verify", "program has no functions");
+  }
+  if (program.function_index("main") < 0) {
+    return util::Error::make("verify", "program has no 'main'");
+  }
+  std::set<std::string> names;
+  for (const auto& fn : program.functions) {
+    if (!names.insert(fn.name).second) {
+      return util::Error::make("verify", "duplicate function '" + fn.name + "'");
+    }
+    if (fn.code.empty()) return util::Error::make("verify", fn.name + ": empty body");
+    for (size_t pc = 0; pc < fn.code.size(); ++pc) {
+      const Instr& in = fn.code[pc];
+      switch (in.op) {
+        case Op::kJmp:
+        case Op::kJmpIfFalse:
+          if (in.imm_i < 0 || static_cast<size_t>(in.imm_i) > fn.code.size()) {
+            return bad(fn, pc, "jump target out of range");
+          }
+          break;
+        case Op::kCall:
+          if (in.imm_i < 0 ||
+              static_cast<size_t>(in.imm_i) >= program.functions.size()) {
+            return bad(fn, pc, "call target out of range");
+          }
+          break;
+        case Op::kLoadLocal:
+        case Op::kStoreLocal:
+          if (in.imm_i < 0 || static_cast<size_t>(in.imm_i) >= fn.n_locals) {
+            return bad(fn, pc, "local slot out of range");
+          }
+          break;
+        case Op::kLoadGlobal:
+        case Op::kStoreGlobal:
+          if (in.imm_i < 0 || in.imm_i > 1'000'000) {
+            return bad(fn, pc, "global slot out of range");
+          }
+          break;
+        case Op::kSyscall:
+          if (syscall_name(static_cast<Syscall>(in.imm_i)) == nullptr) {
+            return bad(fn, pc, "unknown syscall id " + std::to_string(in.imm_i));
+          }
+          break;
+        default:
+          break;
+      }
+    }
+    // Control must not run off the end: the final instruction must be an
+    // unconditional transfer.
+    const Op last = fn.code.back().op;
+    if (last != Op::kHalt && last != Op::kRet && last != Op::kJmp) {
+      return bad(fn, fn.code.size() - 1, "function can fall off its end");
+    }
+  }
+  return util::Status::ok_status();
+}
+
+std::string disassemble(const Program& program) {
+  std::string out;
+  for (const auto& fn : program.functions) {
+    // Collect jump targets for label synthesis.
+    std::set<size_t> targets;
+    for (const auto& in : fn.code) {
+      if (in.op == Op::kJmp || in.op == Op::kJmpIfFalse) {
+        targets.insert(static_cast<size_t>(in.imm_i));
+      }
+    }
+    out += "func " + fn.name + " " + std::to_string(fn.n_args) + " " +
+           std::to_string(fn.n_locals) + "\n";
+    for (size_t pc = 0; pc < fn.code.size(); ++pc) {
+      if (targets.contains(pc)) out += "L" + std::to_string(pc) + ":\n";
+      const Instr& in = fn.code[pc];
+      out += "  ";
+      out += mnemonic(in.op);
+      switch (in.op) {
+        case Op::kPushInt:
+        case Op::kPushBool:
+        case Op::kLoadLocal:
+        case Op::kStoreLocal:
+        case Op::kLoadGlobal:
+        case Op::kStoreGlobal:
+          out += " " + std::to_string(in.imm_i);
+          break;
+        case Op::kPushFloat:
+          out += " " + std::to_string(in.imm_f);
+          break;
+        case Op::kJmp:
+        case Op::kJmpIfFalse:
+          out += " L" + std::to_string(in.imm_i);
+          break;
+        case Op::kCall:
+          out += " " + program.functions[static_cast<size_t>(in.imm_i)].name;
+          break;
+        case Op::kSyscall:
+          out += std::string(" ") + syscall_name(static_cast<Syscall>(in.imm_i));
+          break;
+        default:
+          break;
+      }
+      out += "\n";
+    }
+    if (targets.contains(fn.code.size())) out += "L" + std::to_string(fn.code.size()) + ":\n";
+  }
+  return out;
+}
+
+}  // namespace starfish::vm

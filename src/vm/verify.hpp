@@ -1,0 +1,23 @@
+// Static validation and disassembly of bytecode programs.
+//
+// validate() rejects programs the interpreter would only trap on at run
+// time — out-of-range jump targets, bad call indices, out-of-range local
+// slots, unknown syscalls — so broken programs fail at registration instead
+// of mid-job. disassemble() renders a program back to the assembler's text
+// form (round-trippable), which tests use to verify the assembler and
+// humans use to debug.
+#pragma once
+
+#include <string>
+
+#include "vm/bytecode.hpp"
+
+namespace starfish::vm {
+
+/// Structural checks over every function of the program.
+util::Status validate(const Program& program);
+
+/// Text rendering in the assembler's format (labels synthesized as L<pc>).
+std::string disassemble(const Program& program);
+
+}  // namespace starfish::vm

@@ -1,0 +1,482 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "ckpt/image.hpp"
+#include "ckpt/incremental.hpp"
+#include "ckpt/recovery.hpp"
+#include "util/rng.hpp"
+#include "ckpt/store.hpp"
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+#include "vm/bytecode.hpp"
+#include "vm/interp.hpp"
+
+namespace starfish::ckpt {
+namespace {
+
+using sim::Machine;
+using sim::microseconds;
+using sim::milliseconds;
+using sim::seconds;
+using vm::Value;
+
+/// Builds a VM state with varied content to exercise every codec branch.
+vm::VmState sample_state() {
+  vm::VmState s;
+  s.globals = {Value::integer(42), Value::real(3.25), Value::boolean(true), Value::unit(),
+               Value::reference(1)};
+  s.stack = {Value::integer(-7), Value::reference(0)};
+  vm::Frame f;
+  f.function = 2;
+  f.pc = 17;
+  f.locals = {Value::integer(1000000), Value::real(-0.5)};
+  s.frames.push_back(f);
+  vm::HeapObject arr;
+  arr.kind = vm::HeapObject::Kind::kArray;
+  arr.fields = {Value::integer(1), Value::integer(2), Value::integer(3)};
+  s.heap.push_back(arr);
+  vm::HeapObject bytes;
+  bytes.kind = vm::HeapObject::Kind::kBytes;
+  bytes.bytes = util::Bytes(64, std::byte{0xab});
+  s.heap.push_back(bytes);
+  s.steps_executed = 123456;
+  return s;
+}
+
+// ------------------------------------------------------------- images ----
+
+TEST(PortableImage, RoundtripSameMachine) {
+  const Machine& m = sim::default_machine();
+  auto img = portable_encode(m, sample_state());
+  EXPECT_EQ(img.kind, ImageKind::kPortable);
+  auto back = portable_decode(img, m);
+  ASSERT_TRUE(back.ok()) << back.error().to_string();
+  EXPECT_EQ(back.value(), sample_state());
+}
+
+TEST(PortableImage, FileSizeIncludesVmBase) {
+  auto img = portable_encode(sim::default_machine(), vm::VmState{});
+  // An empty program's checkpoint is the 260 KB base of Figure 4 (plus a few
+  // header bytes).
+  EXPECT_GE(img.file_bytes, kPortableBaseBytes);
+  EXPECT_LT(img.file_bytes, kPortableBaseBytes + 256);
+}
+
+// Table 2 matrix: checkpoint under each machine type, restore under each.
+class Table2Matrix : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(Table2Matrix, HeterogeneousRestorePreservesState) {
+  auto machines = sim::table2_machines();
+  const Machine& saver = machines[static_cast<size_t>(std::get<0>(GetParam()))];
+  const Machine& target = machines[static_cast<size_t>(std::get<1>(GetParam()))];
+
+  vm::VmState state = sample_state();
+  auto img = portable_encode(saver, state);
+  EXPECT_EQ(img.repr_code, saver.repr_code());
+  auto back = portable_decode(img, target);
+  ASSERT_TRUE(back.ok()) << saver.label() << " -> " << target.label() << ": "
+                         << back.error().to_string();
+  EXPECT_EQ(back.value(), state) << saver.label() << " -> " << target.label();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, Table2Matrix,
+                         ::testing::Combine(::testing::Range(0, 6), ::testing::Range(0, 6)));
+
+TEST(PortableImage, NarrowingOverflowIsCheckedError) {
+  auto machines = sim::table2_machines();
+  const Machine& alpha = machines[5];  // 64-bit
+  const Machine& i686 = machines[0];   // 32-bit
+  vm::VmState s;
+  s.globals = {Value::integer(1ll << 40)};  // does not fit 32 bits
+  auto img = portable_encode(alpha, s);
+  auto back = portable_decode(img, i686);
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.error().code, "narrow");
+  // The same value restores fine onto another 64-bit machine.
+  auto ok = portable_decode(img, alpha);
+  EXPECT_TRUE(ok.ok());
+}
+
+TEST(PortableImage, WideningRestoreIsExact) {
+  auto machines = sim::table2_machines();
+  vm::VmState s;
+  s.globals = {Value::integer(INT32_MIN), Value::integer(INT32_MAX)};
+  auto img = portable_encode(machines[1], s);  // big-endian 32-bit Sun
+  auto back = portable_decode(img, machines[5]);  // little-endian 64-bit Alpha
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().globals[0], Value::integer(INT32_MIN));
+  EXPECT_EQ(back.value().globals[1], Value::integer(INT32_MAX));
+}
+
+TEST(PortableImage, CorruptPayloadFailsGracefully) {
+  auto img = portable_encode(sim::default_machine(), sample_state());
+  img.payload.resize(img.payload.size() / 2);  // truncate
+  EXPECT_FALSE(portable_decode(img, sim::default_machine()).ok());
+  img.payload.clear();
+  EXPECT_FALSE(portable_decode(img, sim::default_machine()).ok());
+}
+
+TEST(NativeImage, RoundtripSameRepresentation) {
+  const Machine& m = sim::default_machine();
+  util::Bytes memory(1000, std::byte{0x3c});
+  auto img = native_encode(m, util::as_bytes_view(memory));
+  EXPECT_EQ(img.file_bytes, kNativeBaseBytes + 1000);
+  auto back = native_decode(img, m);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), memory);
+}
+
+TEST(NativeImage, CrossRepresentationRefused) {
+  auto machines = sim::table2_machines();
+  util::Bytes memory(100, std::byte{1});
+  auto img = native_encode(machines[0], util::as_bytes_view(memory));  // i686 Linux
+  // Same representation, different OS label: allowed (repr is what matters).
+  EXPECT_TRUE(native_decode(img, machines[4]).ok());  // WinNT P-II, same repr
+  // Big-endian or 64-bit targets: refused.
+  EXPECT_FALSE(native_decode(img, machines[1]).ok());
+  auto err = native_decode(img, machines[5]);
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.error().code, "repr-mismatch");
+}
+
+TEST(Images, VmProgramSurvivesCrossMachineRestore) {
+  // End-to-end: run half a program on a big-endian 32-bit machine,
+  // checkpoint, restore on a little-endian 64-bit machine, finish there.
+  const std::string src = R"(
+func main 0 2
+  push_int 0
+  store_local 0
+  push_int 1
+  store_local 1
+loop:
+  load_local 1
+  push_int 50
+  le
+  jmp_if_false done
+  load_local 0
+  load_local 1
+  add
+  store_local 0
+  load_local 1
+  push_int 1
+  add
+  store_local 1
+  jmp loop
+done:
+  load_local 0
+  halt
+)";
+  auto prog = vm::assemble(src);
+  ASSERT_TRUE(prog.ok());
+  auto machines = sim::table2_machines();
+  const Machine& sun = machines[1];
+  const Machine& alpha = machines[5];
+
+  vm::Interpreter first(prog.value(), sun);
+  first.start();
+  (void)first.run(120);
+  auto img = portable_encode(sun, first.state());
+
+  auto restored = portable_decode(img, alpha);
+  ASSERT_TRUE(restored.ok());
+  vm::Interpreter second(prog.value(), alpha);
+  second.set_state(std::move(restored).take());
+  auto r = second.run();
+  ASSERT_EQ(r.status, vm::RunStatus::kHalted);
+  EXPECT_EQ(second.mutable_state().stack.back(), Value::integer(1275));  // sum 1..50
+}
+
+// -------------------------------------------------------------- store ----
+
+struct StoreFixture {
+  sim::Engine eng;
+  net::Network net{eng};
+  CheckpointStore store{eng};
+  StoreFixture() {
+    net.add_host("node0");
+    net.add_host("node1");
+  }
+};
+
+TEST(Store, PutChargesDiskTimeMatchingFigure3Anchor) {
+  StoreFixture f;
+  sim::Time done = -1;
+  f.eng.spawn("writer", [&] {
+    // Empty-program native checkpoint: 632 KB file.
+    auto img = native_encode(sim::default_machine(), {});
+    f.store.put(*f.net.host(0), CkptKey{"app", 0, 1}, std::move(img));
+    done = f.eng.now();
+  });
+  f.eng.run();
+  // Paper: 0.104061 s for the 632 KB single-node native checkpoint.
+  EXPECT_NEAR(sim::to_seconds(done), 0.104, 0.01);
+}
+
+TEST(Store, PortablePutMatchesFigure4Anchor) {
+  StoreFixture f;
+  sim::Time done = -1;
+  f.eng.spawn("writer", [&] {
+    auto img = portable_encode(sim::default_machine(), vm::VmState{});
+    f.store.put(*f.net.host(0), CkptKey{"app", 0, 1}, std::move(img));
+    done = f.eng.now();
+  });
+  f.eng.run();
+  // Paper: 0.0077 s for the 260 KB single-node VM checkpoint.
+  EXPECT_NEAR(sim::to_seconds(done), 0.0077, 0.002);
+}
+
+TEST(Store, GetReturnsWhatWasPut) {
+  StoreFixture f;
+  bool checked = false;
+  f.eng.spawn("rt", [&] {
+    auto img = portable_encode(sim::default_machine(), sample_state());
+    f.store.put(*f.net.host(0), CkptKey{"app", 2, 5}, img);
+    // Read back from a *different* node: shared-store semantics.
+    auto got = f.store.get(*f.net.host(1), CkptKey{"app", 2, 5});
+    ASSERT_TRUE(got.has_value());
+    auto state = portable_decode(*got, sim::default_machine());
+    ASSERT_TRUE(state.ok());
+    EXPECT_EQ(state.value(), sample_state());
+    checked = true;
+  });
+  f.eng.run();
+  EXPECT_TRUE(checked);
+}
+
+TEST(Store, MissingKeyIsEmpty) {
+  StoreFixture f;
+  bool checked = false;
+  f.eng.spawn("rt", [&] {
+    EXPECT_FALSE(f.store.get(*f.net.host(0), CkptKey{"nope", 0, 0}).has_value());
+    checked = true;
+  });
+  f.eng.run();
+  EXPECT_TRUE(checked);
+}
+
+TEST(Store, CommitIsMonotone) {
+  StoreFixture f;
+  EXPECT_FALSE(f.store.latest_committed("app").has_value());
+  f.store.commit("app", 3);
+  f.store.commit("app", 1);  // stale commit ignored
+  EXPECT_EQ(f.store.latest_committed("app").value(), 3u);
+  f.store.commit("app", 7);
+  EXPECT_EQ(f.store.latest_committed("app").value(), 7u);
+}
+
+TEST(Store, LatestStoredPerRank) {
+  StoreFixture f;
+  f.eng.spawn("rt", [&] {
+    auto img = [&] { return portable_encode(sim::default_machine(), vm::VmState{}); };
+    f.store.put(*f.net.host(0), CkptKey{"app", 0, 1}, img());
+    f.store.put(*f.net.host(0), CkptKey{"app", 0, 4}, img());
+    f.store.put(*f.net.host(0), CkptKey{"app", 1, 2}, img());
+  });
+  f.eng.run();
+  EXPECT_EQ(f.store.latest_stored("app", 0).value(), 4u);
+  EXPECT_EQ(f.store.latest_stored("app", 1).value(), 2u);
+  EXPECT_FALSE(f.store.latest_stored("app", 9).has_value());
+}
+
+TEST(Store, GcDropsOldEpochs) {
+  StoreFixture f;
+  f.eng.spawn("rt", [&] {
+    auto img = [&] { return portable_encode(sim::default_machine(), vm::VmState{}); };
+    for (uint64_t e = 1; e <= 4; ++e) {
+      f.store.put(*f.net.host(0), CkptKey{"app", 0, e}, img());
+      f.store.put(*f.net.host(0), CkptKey{"other", 0, e}, img());
+    }
+  });
+  f.eng.run();
+  EXPECT_EQ(f.store.gc("app", 3), 2u);
+  EXPECT_FALSE(f.store.contains(CkptKey{"app", 0, 2}));
+  EXPECT_TRUE(f.store.contains(CkptKey{"app", 0, 3}));
+  EXPECT_TRUE(f.store.contains(CkptKey{"other", 0, 1}));  // other app untouched
+}
+
+// -------------------------------------------------------- incremental ----
+
+TEST(Incremental, IdenticalStateProducesEmptyDelta) {
+  util::Bytes state(3 * kPageBytes + 100, std::byte{7});
+  uint64_t changed = 99;
+  auto delta = incremental_encode(state, state, &changed);
+  EXPECT_EQ(changed, 0u);
+  EXPECT_LT(delta.size(), 64u);  // header only
+  auto back = incremental_apply(state, delta);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), state);
+}
+
+TEST(Incremental, SinglePageChangeEncodesOnePage) {
+  util::Bytes prev(10 * kPageBytes, std::byte{1});
+  util::Bytes cur = prev;
+  cur[5 * kPageBytes + 17] = std::byte{99};
+  uint64_t changed = 0;
+  auto delta = incremental_encode(prev, cur, &changed);
+  EXPECT_EQ(changed, 1u);
+  EXPECT_LT(delta.size(), kPageBytes + 64);
+  auto back = incremental_apply(prev, delta);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), cur);
+}
+
+TEST(Incremental, StateGrowthCoveredByDelta) {
+  util::Bytes prev(2 * kPageBytes, std::byte{3});
+  util::Bytes cur(5 * kPageBytes + 123, std::byte{3});
+  cur.back() = std::byte{42};
+  auto delta = incremental_encode(prev, cur, nullptr);
+  auto back = incremental_apply(prev, delta);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), cur);
+}
+
+TEST(Incremental, StateShrinkTruncates) {
+  util::Bytes prev(5 * kPageBytes, std::byte{3});
+  util::Bytes cur(2 * kPageBytes - 7, std::byte{3});
+  auto delta = incremental_encode(prev, cur, nullptr);
+  auto back = incremental_apply(prev, delta);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), cur);
+}
+
+TEST(Incremental, UnalignedTailPageHandled) {
+  util::Bytes prev(kPageBytes + 5, std::byte{1});
+  util::Bytes cur = prev;
+  cur[kPageBytes + 2] = std::byte{8};  // in the partial tail page
+  uint64_t changed = 0;
+  auto delta = incremental_encode(prev, cur, &changed);
+  EXPECT_EQ(changed, 1u);
+  auto back = incremental_apply(prev, delta);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), cur);
+}
+
+TEST(Incremental, ChainOfDeltasResolves) {
+  util::Rng rng(5);
+  util::Bytes state(8 * kPageBytes, std::byte{0});
+  util::Bytes base = state;
+  std::vector<util::Bytes> deltas;
+  std::vector<util::Bytes> truth;
+  for (int step = 0; step < 5; ++step) {
+    util::Bytes next = state;
+    for (int k = 0; k < 3; ++k) {
+      next[rng.below(next.size())] = static_cast<std::byte>(rng.below(256));
+    }
+    deltas.push_back(incremental_encode(state, next, nullptr));
+    truth.push_back(next);
+    state = next;
+  }
+  util::Bytes resolved = base;
+  for (size_t i = 0; i < deltas.size(); ++i) {
+    auto r = incremental_apply(resolved, deltas[i]);
+    ASSERT_TRUE(r.ok());
+    resolved = std::move(r).take();
+    EXPECT_EQ(resolved, truth[i]);
+  }
+}
+
+TEST(Incremental, CorruptDeltaFailsGracefully) {
+  util::Bytes prev(kPageBytes, std::byte{1});
+  util::Bytes cur(kPageBytes, std::byte{2});
+  auto delta = incremental_encode(prev, cur, nullptr);
+  delta.resize(delta.size() / 2);
+  EXPECT_FALSE(incremental_apply(prev, delta).ok());
+}
+
+// ----------------------------------------------------------- recovery ----
+
+TEST(Recovery, NoMessagesNoRollback) {
+  std::map<uint32_t, uint32_t> latest = {{0, 3}, {1, 2}};
+  auto line = compute_recovery_line({}, latest);
+  EXPECT_EQ(line, latest);
+  EXPECT_EQ(rollback_distance(line, latest), 0u);
+}
+
+TEST(Recovery, OrphanForcesReceiverBack) {
+  // p1's checkpoint 2 depends on a message p0 sent in interval 2, but p0's
+  // newest checkpoint is 2 (send in interval 2 happens after checkpoint 2 is
+  // taken? no: interval 2 follows checkpoint 2) — dep (0,2) with line(0)=2
+  // means orphan, p1 must fall back to checkpoint 1.
+  std::vector<CheckpointMeta> metas = {
+      {1, 2, {{0, 2}}},
+      {1, 1, {}},
+  };
+  std::map<uint32_t, uint32_t> latest = {{0, 2}, {1, 2}};
+  auto line = compute_recovery_line(metas, latest);
+  EXPECT_EQ(line[0], 2u);
+  EXPECT_EQ(line[1], 1u);
+  EXPECT_EQ(rollback_distance(line, latest), 1u);
+}
+
+TEST(Recovery, SatisfiedDependencyNeedsNoRollback) {
+  // Message sent in p0's interval 1 and p0 restores at checkpoint 2 (> 1):
+  // the send is retained, no orphan.
+  std::vector<CheckpointMeta> metas = {{1, 2, {{0, 1}}}};
+  std::map<uint32_t, uint32_t> latest = {{0, 2}, {1, 2}};
+  auto line = compute_recovery_line(metas, latest);
+  EXPECT_EQ(line[0], 2u);
+  EXPECT_EQ(line[1], 2u);
+}
+
+TEST(Recovery, CascadeAcrossThreeProcesses) {
+  // p2 depends on p1's interval 2; rolling p1 to 2 is fine, but p1's
+  // checkpoint 2 depends on p0's interval 1 while p0 only saved checkpoint 1
+  // => p1 falls to 1 => p2's dep (1,2) becomes orphan => p2 falls too.
+  std::vector<CheckpointMeta> metas = {
+      {2, 3, {{1, 2}}}, {2, 2, {{1, 1}}}, {2, 1, {}},
+      {1, 2, {{0, 1}}}, {1, 1, {{0, 0}}},
+  };
+  std::map<uint32_t, uint32_t> latest = {{0, 1}, {1, 2}, {2, 3}};
+  auto line = compute_recovery_line(metas, latest);
+  EXPECT_EQ(line[0], 1u);
+  EXPECT_EQ(line[1], 1u);  // dep (0,1) >= line(0)=1 -> orphan -> fell to 1
+  EXPECT_EQ(line[2], 1u);  // cascade: deps (1,2) then (1,1) orphaned
+  EXPECT_EQ(rollback_distance(line, latest), 3u);
+}
+
+TEST(Recovery, DominoEffectToInitialState) {
+  // Tight ping-pong: every checkpoint of each process depends on the other's
+  // immediately preceding interval; losing the last checkpoint unravels all
+  // the way to the initial state.
+  std::vector<CheckpointMeta> metas;
+  for (uint32_t c = 1; c <= 4; ++c) {
+    metas.push_back({0, c, {{1, c - 1}, {1, c}}});
+    metas.push_back({1, c, {{0, c - 1}, {0, c}}});
+  }
+  // Process 1 failed and its checkpoint 4 is unusable: latest saved is 3.
+  std::map<uint32_t, uint32_t> latest = {{0, 4}, {1, 3}};
+  auto line = compute_recovery_line(metas, latest);
+  EXPECT_EQ(line[0], 0u);
+  EXPECT_EQ(line[1], 0u);
+}
+
+TEST(Recovery, TrackerPiggybackAndCut) {
+  DependencyTracker t(3);
+  EXPECT_EQ(t.on_send(), (IntervalId{3, 0}));
+  t.on_recv({1, 0});
+  auto [idx1, deps1] = t.cut_checkpoint();
+  EXPECT_EQ(idx1, 1u);
+  ASSERT_EQ(deps1.size(), 1u);
+  EXPECT_EQ(deps1[0], (IntervalId{1, 0}));
+  EXPECT_EQ(t.on_send(), (IntervalId{3, 1}));
+  t.on_recv({2, 5});
+  auto [idx2, deps2] = t.cut_checkpoint();
+  EXPECT_EQ(idx2, 2u);
+  EXPECT_EQ(deps2.size(), 2u);  // cumulative
+}
+
+TEST(Recovery, TrackerEncodeDecodeRoundtrip) {
+  DependencyTracker t(7);
+  t.on_recv({1, 2});
+  t.on_recv({3, 4});
+  (void)t.cut_checkpoint();
+  auto decoded = DependencyTracker::decode(t.encode());
+  EXPECT_EQ(decoded.rank(), 7u);
+  EXPECT_EQ(decoded.current_interval(), 1u);
+  EXPECT_EQ(decoded.encode(), t.encode());
+}
+
+}  // namespace
+}  // namespace starfish::ckpt

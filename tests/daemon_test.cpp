@@ -1,0 +1,327 @@
+// Daemon-layer tests against a fake process launcher: exercise placement,
+// lifecycle bookkeeping, the launcher contract, and the management protocol
+// without the full application-process machinery.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ckpt/store.hpp"
+#include "daemon/daemon.hpp"
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+
+namespace starfish::daemon {
+namespace {
+
+using sim::milliseconds;
+using sim::seconds;
+
+/// Records launches and lets the test script process behaviour.
+class FakeLauncher : public ProcessLauncher {
+ public:
+  struct FakeProcess : ProcessHandle {
+    LaunchRequest request;
+    sim::HostId host = sim::kInvalidHost;
+    std::function<void(const LinkMsg&)> uplink;
+    std::vector<LinkMsg> delivered;
+    bool terminated = false;
+
+    void deliver(const LinkMsg& msg) override { delivered.push_back(msg); }
+    void terminate() override { terminated = true; }
+    bool alive() const override { return !terminated; }
+  };
+
+  std::unique_ptr<ProcessHandle> launch(sim::Host& host, const LaunchRequest& request,
+                                        std::function<void(const LinkMsg&)> uplink) override {
+    auto proc = std::make_unique<FakeProcess>();
+    proc->request = request;
+    proc->host = host.id();
+    proc->uplink = std::move(uplink);
+    auto* raw = proc.get();
+    processes.push_back(raw);
+    // Behave like a real process: announce a fake data-path address.
+    LinkMsg ready;
+    ready.kind = LinkKind::kReady;
+    ready.vni_addr = {host.id(), 40000 + next_port_++};
+    raw->uplink(ready);
+    return proc;
+  }
+
+  std::vector<FakeProcess*> processes;  // non-owning; daemons own the handles
+
+ private:
+  net::Port next_port_ = 0;
+};
+
+struct Fixture {
+  sim::Engine eng;
+  net::Network net{eng};
+  ckpt::CheckpointStore store{eng};
+  FakeLauncher launcher;
+  std::vector<std::unique_ptr<Daemon>> daemons;
+
+  explicit Fixture(size_t n) {
+    std::vector<net::NetAddr> founders;
+    for (size_t i = 0; i < n; ++i) {
+      auto host = net.add_host("node" + std::to_string(i));
+      founders.push_back({host->id(), 1});
+    }
+    for (size_t i = 0; i < n; ++i) {
+      daemons.push_back(std::make_unique<Daemon>(net, *net.host(static_cast<sim::HostId>(i)),
+                                                 store, launcher, DaemonConfig{}));
+    }
+    for (auto& d : daemons) d->start_founding(founders);
+    eng.run_for(milliseconds(5));
+  }
+
+  JobSpec job(const std::string& name, uint32_t nprocs) {
+    JobSpec j;
+    j.name = name;
+    j.binary = "fake";
+    j.nprocs = nprocs;
+    return j;
+  }
+};
+
+TEST(DaemonUnit, PlacementIsRoundRobinAndIdenticalEverywhere) {
+  Fixture f(3);
+  f.daemons[0]->submit(f.job("app", 7));
+  f.eng.run_for(milliseconds(100));
+  // 7 ranks over 3 nodes: 0->{0,3,6}, 1->{1,4}, 2->{2,5}.
+  EXPECT_EQ(f.daemons[0]->local_ranks("app"), (std::vector<uint32_t>{0, 3, 6}));
+  EXPECT_EQ(f.daemons[1]->local_ranks("app"), (std::vector<uint32_t>{1, 4}));
+  EXPECT_EQ(f.daemons[2]->local_ranks("app"), (std::vector<uint32_t>{2, 5}));
+  EXPECT_EQ(f.launcher.processes.size(), 7u);
+}
+
+TEST(DaemonUnit, LaunchRequestCarriesJobAndRank) {
+  Fixture f(2);
+  auto j = f.job("carry", 2);
+  j.policy = FtPolicy::kNotifyViews;
+  j.protocol = CrProtocol::kChandyLamport;
+  j.ckpt_interval = milliseconds(123);
+  f.daemons[1]->submit(j);
+  f.eng.run_for(milliseconds(100));
+  ASSERT_EQ(f.launcher.processes.size(), 2u);
+  for (auto* p : f.launcher.processes) {
+    EXPECT_EQ(p->request.job.name, "carry");
+    EXPECT_EQ(p->request.job.policy, FtPolicy::kNotifyViews);
+    EXPECT_EQ(p->request.job.protocol, CrProtocol::kChandyLamport);
+    EXPECT_EQ(p->request.job.ckpt_interval, milliseconds(123));
+    EXPECT_EQ(p->request.restore_epoch, kNoRestore);
+  }
+  EXPECT_NE(f.launcher.processes[0]->request.rank, f.launcher.processes[1]->request.rank);
+}
+
+TEST(DaemonUnit, ConfigureArrivesOnceAllAddressesKnown) {
+  Fixture f(2);
+  f.daemons[0]->submit(f.job("cfg", 4));
+  f.eng.run_for(milliseconds(100));
+  ASSERT_EQ(f.launcher.processes.size(), 4u);
+  for (auto* p : f.launcher.processes) {
+    int configures = 0;
+    for (const auto& m : p->delivered) {
+      if (m.kind == LinkKind::kConfigure) {
+        ++configures;
+        ASSERT_EQ(m.world.size(), 4u);
+        for (const auto& addr : m.world) EXPECT_NE(addr.host, sim::kInvalidHost);
+      }
+    }
+    EXPECT_EQ(configures, 1) << "rank " << p->request.rank;
+  }
+  EXPECT_EQ(f.daemons[0]->app_phase("cfg"), AppPhase::kRunning);
+}
+
+TEST(DaemonUnit, RankDoneEventsCompleteTheApp) {
+  Fixture f(2);
+  f.daemons[0]->submit(f.job("fin", 2));
+  f.eng.run_for(milliseconds(100));
+  ASSERT_EQ(f.launcher.processes.size(), 2u);
+  for (auto* p : f.launcher.processes) {
+    LinkMsg done;
+    done.kind = LinkKind::kDone;
+    done.ok = true;
+    p->uplink(done);
+  }
+  f.eng.run_for(milliseconds(100));
+  EXPECT_EQ(f.daemons[0]->app_phase("fin"), AppPhase::kCompleted);
+  EXPECT_EQ(f.daemons[1]->app_phase("fin"), AppPhase::kCompleted);
+}
+
+TEST(DaemonUnit, ProcessFailureWithKillPolicyTerminatesAll) {
+  Fixture f(2);
+  auto j = f.job("boom", 4);
+  j.policy = FtPolicy::kKill;
+  f.daemons[0]->submit(j);
+  f.eng.run_for(milliseconds(100));
+  LinkMsg fail;
+  fail.kind = LinkKind::kDone;
+  fail.ok = false;
+  fail.text = "fake trap";
+  f.launcher.processes[1]->uplink(fail);
+  f.eng.run_for(milliseconds(100));
+  EXPECT_EQ(f.daemons[0]->app_phase("boom"), AppPhase::kFailed);
+  for (auto* p : f.launcher.processes) EXPECT_TRUE(p->terminated);
+}
+
+TEST(DaemonUnit, NotifyPolicyDeliversViewsNotTermination) {
+  Fixture f(2);
+  auto j = f.job("note", 4);
+  j.policy = FtPolicy::kNotifyViews;
+  f.daemons[0]->submit(j);
+  f.eng.run_for(milliseconds(100));
+  LinkMsg fail;
+  fail.kind = LinkKind::kDone;
+  fail.ok = false;
+  f.launcher.processes[2]->uplink(fail);  // rank 2 dies in place
+  f.eng.run_for(milliseconds(100));
+  const uint32_t dead_rank = f.launcher.processes[2]->request.rank;
+  int views_seen = 0;
+  for (auto* p : f.launcher.processes) {
+    if (p == f.launcher.processes[2]) continue;
+    EXPECT_FALSE(p->terminated);
+    for (const auto& m : p->delivered) {
+      if (m.kind == LinkKind::kAppView) {
+        ++views_seen;
+        EXPECT_EQ(m.live_ranks.size(), 3u);
+        for (auto r : m.live_ranks) EXPECT_NE(r, dead_rank);
+      }
+    }
+  }
+  EXPECT_EQ(views_seen, 3);
+  EXPECT_EQ(f.daemons[0]->app_phase("note"), AppPhase::kRunning);
+}
+
+TEST(DaemonUnit, RestartPolicyRelaunchesEveryRankWithRestoreEpoch) {
+  Fixture f(3);
+  auto j = f.job("redo", 3);
+  j.policy = FtPolicy::kRestart;
+  j.protocol = CrProtocol::kStopAndSync;
+  f.daemons[0]->submit(j);
+  f.eng.run_for(milliseconds(100));
+  ASSERT_EQ(f.launcher.processes.size(), 3u);
+  // Fake a committed recovery line at epoch 7.
+  f.store.commit("redo", 7);
+  f.net.crash_host(2);
+  f.eng.run_for(seconds(2.0));
+  // The two survivors relaunched all 3 ranks between them, each restoring 7.
+  ASSERT_GE(f.launcher.processes.size(), 6u);
+  size_t restored = 0;
+  for (size_t i = 3; i < f.launcher.processes.size(); ++i) {
+    EXPECT_EQ(f.launcher.processes[i]->request.restore_epoch, 7u);
+    ++restored;
+  }
+  EXPECT_EQ(restored, 3u);
+  // Old processes on surviving nodes were terminated.
+  EXPECT_TRUE(f.launcher.processes[0]->terminated);
+  EXPECT_TRUE(f.launcher.processes[1]->terminated);
+}
+
+TEST(DaemonUnit, SuspendAndResumeReachEveryLocalProcess) {
+  Fixture f(2);
+  f.daemons[0]->submit(f.job("z", 2));
+  f.eng.run_for(milliseconds(100));
+  f.daemons[1]->suspend_app("z");
+  f.eng.run_for(milliseconds(100));
+  f.daemons[0]->resume_app("z");
+  f.eng.run_for(milliseconds(100));
+  for (auto* p : f.launcher.processes) {
+    int suspends = 0, resumes = 0;
+    for (const auto& m : p->delivered) {
+      if (m.kind == LinkKind::kSuspend) ++suspends;
+      if (m.kind == LinkKind::kResume) ++resumes;
+    }
+    EXPECT_EQ(suspends, 1);
+    EXPECT_EQ(resumes, 1);
+  }
+}
+
+TEST(DaemonUnit, CoordRelayReachesAllProcessesOpaque) {
+  Fixture f(2);
+  f.daemons[0]->submit(f.job("relay", 3));
+  f.eng.run_for(milliseconds(100));
+  LinkMsg coord;
+  coord.kind = LinkKind::kCoordSend;
+  coord.payload = util::Bytes{std::byte{0xde}, std::byte{0xad}};
+  f.launcher.processes[0]->uplink(coord);
+  f.eng.run_for(milliseconds(100));
+  for (auto* p : f.launcher.processes) {
+    int coords = 0;
+    for (const auto& m : p->delivered) {
+      if (m.kind == LinkKind::kCoord) {
+        ++coords;
+        EXPECT_EQ(m.payload, coord.payload);  // opaque, byte-identical
+      }
+    }
+    EXPECT_EQ(coords, 1) << "rank " << p->request.rank;
+  }
+}
+
+TEST(DaemonUnit, SubmitWithNoEligibleNodesFails) {
+  Fixture f(2);
+  f.daemons[0]->node_ctl(0, false);
+  f.daemons[0]->node_ctl(1, false);
+  f.eng.run_for(milliseconds(50));
+  f.daemons[0]->submit(f.job("nowhere", 2));
+  f.eng.run_for(milliseconds(100));
+  EXPECT_EQ(f.daemons[0]->app_phase("nowhere"), AppPhase::kFailed);
+  EXPECT_TRUE(f.launcher.processes.empty());
+}
+
+TEST(DaemonUnit, DuplicateSubmissionIgnored) {
+  Fixture f(2);
+  f.daemons[0]->submit(f.job("dup", 2));
+  f.eng.run_for(milliseconds(50));
+  f.daemons[1]->submit(f.job("dup", 5));  // same name, different shape
+  f.eng.run_for(milliseconds(100));
+  EXPECT_EQ(f.launcher.processes.size(), 2u);  // second submission dropped
+}
+
+TEST(DaemonUnit, OutputLinesCollectedPerDaemon) {
+  Fixture f(2);
+  f.daemons[0]->submit(f.job("talky", 2));
+  f.eng.run_for(milliseconds(100));
+  LinkMsg out;
+  out.kind = LinkKind::kOutput;
+  out.text = "hello from fake";
+  f.launcher.processes[0]->uplink(out);
+  f.eng.run_for(milliseconds(50));
+  const auto host = f.launcher.processes[0]->host;
+  const auto& lines = f.daemons[host]->app_output("talky");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "hello from fake");
+}
+
+TEST(DaemonUnit, PackedPlacementStrategyFromReplicatedConfig) {
+  Fixture f(3);
+  f.daemons[0]->set_config("placement.strategy", "packed");
+  f.daemons[0]->set_config("placement.slots", "2");
+  f.eng.run_for(milliseconds(50));
+  f.daemons[2]->submit(f.job("packed", 5));
+  f.eng.run_for(milliseconds(100));
+  // Packed with 2 slots: node0 gets ranks {0,1}, node1 {2,3}, node2 {4}.
+  EXPECT_EQ(f.daemons[0]->local_ranks("packed"), (std::vector<uint32_t>{0, 1}));
+  EXPECT_EQ(f.daemons[1]->local_ranks("packed"), (std::vector<uint32_t>{2, 3}));
+  EXPECT_EQ(f.daemons[2]->local_ranks("packed"), (std::vector<uint32_t>{4}));
+}
+
+TEST(DaemonUnit, PlacementStrategySwitchAffectsOnlyLaterJobs) {
+  Fixture f(2);
+  f.daemons[0]->submit(f.job("before", 2));
+  f.eng.run_for(milliseconds(50));
+  f.daemons[0]->set_config("placement.strategy", "packed");
+  f.eng.run_for(milliseconds(50));
+  f.daemons[0]->submit(f.job("after", 2));
+  f.eng.run_for(milliseconds(100));
+  EXPECT_EQ(f.daemons[0]->local_ranks("before"), (std::vector<uint32_t>{0}));
+  EXPECT_EQ(f.daemons[1]->local_ranks("before"), (std::vector<uint32_t>{1}));
+  // Packed: both ranks land on node 0.
+  EXPECT_EQ(f.daemons[0]->local_ranks("after"), (std::vector<uint32_t>{0, 1}));
+  EXPECT_TRUE(f.daemons[1]->local_ranks("after").empty());
+}
+
+}  // namespace
+}  // namespace starfish::daemon

@@ -1,0 +1,497 @@
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/model_params.hpp"
+#include "net/network.hpp"
+#include "net/vni.hpp"
+#include "sim/engine.hpp"
+
+namespace starfish::net {
+namespace {
+
+using sim::microseconds;
+using sim::milliseconds;
+using sim::seconds;
+
+util::Bytes make_payload(size_t n, uint8_t fill = 0x5a) {
+  return util::Bytes(n, std::byte{fill});
+}
+
+struct Fixture {
+  sim::Engine eng;
+  Network net{eng};
+  Fixture(size_t hosts = 4) {
+    for (size_t i = 0; i < hosts; ++i) net.add_host("node" + std::to_string(i));
+  }
+};
+
+// ---------------------------------------------------------------- Model ----
+
+TEST(Model, OneWayFixedCostsMatchPaperAnchors) {
+  // Paper Figure 5: 1-byte RTT is 552 us over TCP/IP and 86 us over BIP.
+  EXPECT_EQ(2 * tcp_ip_model().one_way_fixed(), microseconds(552));
+  EXPECT_EQ(2 * bip_myrinet_model().one_way_fixed(), microseconds(86));
+}
+
+TEST(Model, KernelCostsZeroForUserLevelBip) {
+  EXPECT_EQ(bip_myrinet_model().kernel_send, 0);
+  EXPECT_EQ(bip_myrinet_model().kernel_recv, 0);
+  EXPECT_GT(tcp_ip_model().kernel_send, 0);
+  EXPECT_GT(tcp_ip_model().kernel_recv, 0);
+}
+
+TEST(Model, WireTimeLinearInSize) {
+  const auto& m = bip_myrinet_model();
+  const auto base = m.wire_time(0);
+  EXPECT_EQ(m.wire_time(60'000'000) - base, seconds(1.0));
+  EXPECT_EQ(m.wire_time(120'000'000) - base, seconds(2.0));
+}
+
+// ------------------------------------------------------------- Datagram ----
+
+TEST(Datagram, DeliversAfterModelLatency) {
+  Fixture f;
+  auto a = f.net.bind(0, 100, TransportKind::kBipMyrinet);
+  auto b = f.net.bind(1, 100, TransportKind::kBipMyrinet);
+  sim::Time arrival = -1;
+  f.eng.spawn("rx", [&] {
+    auto r = b->recv();
+    ASSERT_TRUE(r.ok());
+    arrival = f.eng.now();
+    EXPECT_EQ(r.value->src, (NetAddr{0, 100}));
+    EXPECT_EQ(r.value->payload.size(), 1u);
+  });
+  f.eng.spawn("tx", [&] { a->send({1, 100}, make_payload(1)); });
+  f.eng.run();
+  // 43 us fixed one-way cost plus the sub-microsecond 1-byte wire term.
+  EXPECT_NEAR(static_cast<double>(arrival), static_cast<double>(microseconds(43)), 100.0);
+}
+
+TEST(Datagram, TcpSlowerThanBip) {
+  Fixture f;
+  auto a_tcp = f.net.bind(0, 1, TransportKind::kTcpIp);
+  auto b_tcp = f.net.bind(1, 1, TransportKind::kTcpIp);
+  auto a_bip = f.net.bind(0, 2, TransportKind::kBipMyrinet);
+  auto b_bip = f.net.bind(1, 2, TransportKind::kBipMyrinet);
+  sim::Time tcp_at = -1, bip_at = -1;
+  f.eng.spawn("rx-tcp", [&] {
+    (void)b_tcp->recv();
+    tcp_at = f.eng.now();
+  });
+  f.eng.spawn("rx-bip", [&] {
+    (void)b_bip->recv();
+    bip_at = f.eng.now();
+  });
+  f.eng.spawn("tx", [&] {
+    a_tcp->send({1, 1}, make_payload(1000));
+    a_bip->send({1, 2}, make_payload(1000));
+  });
+  f.eng.run();
+  EXPECT_GT(tcp_at, bip_at);
+}
+
+TEST(Datagram, FifoPerSenderPair) {
+  Fixture f;
+  auto a = f.net.bind(0, 1, TransportKind::kTcpIp);
+  auto b = f.net.bind(1, 1, TransportKind::kTcpIp);
+  std::vector<uint8_t> order;
+  f.eng.spawn("rx", [&] {
+    for (int i = 0; i < 50; ++i) {
+      auto r = b->recv();
+      ASSERT_TRUE(r.ok());
+      order.push_back(static_cast<uint8_t>(std::to_integer<int>(r.value->payload[0])));
+    }
+  });
+  f.eng.spawn("tx", [&] {
+    for (int i = 0; i < 50; ++i) a->send({1, 1}, make_payload(8, static_cast<uint8_t>(i)));
+  });
+  f.eng.run();
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Datagram, DropsWhenDestinationUnbound) {
+  Fixture f;
+  auto a = f.net.bind(0, 1, TransportKind::kTcpIp);
+  EXPECT_TRUE(a->send({1, 99}, make_payload(4)));  // goes on the wire...
+  f.eng.run();                                     // ...and vanishes
+  EXPECT_EQ(f.net.packets_sent(), 1u);
+}
+
+TEST(Datagram, DropsInFlightToCrashedHost) {
+  Fixture f;
+  auto a = f.net.bind(0, 1, TransportKind::kTcpIp);
+  auto b = f.net.bind(1, 1, TransportKind::kTcpIp);
+  bool delivered = false;
+  f.eng.spawn("rx", [&] {
+    auto r = b->recv();
+    delivered = r.ok();
+  });
+  f.eng.spawn("tx", [&] { a->send({1, 1}, make_payload(10)); });
+  // Crash before the ~276 us delivery.
+  f.eng.schedule(microseconds(100), [&] { f.net.crash_host(1); });
+  f.eng.run();
+  EXPECT_FALSE(delivered);
+}
+
+TEST(Datagram, SendFromDeadHostFails) {
+  Fixture f;
+  auto a = f.net.bind(0, 1, TransportKind::kTcpIp);
+  f.net.crash_host(0);
+  EXPECT_FALSE(a->send({1, 1}, make_payload(1)));
+}
+
+TEST(Datagram, BindAutoAssignsDistinctPorts) {
+  Fixture f;
+  auto a = f.net.bind_auto(0, TransportKind::kTcpIp);
+  auto b = f.net.bind_auto(0, TransportKind::kTcpIp);
+  EXPECT_NE(a->addr().port, b->addr().port);
+}
+
+TEST(Datagram, LoopbackFastPath) {
+  // Same-host traffic bypasses the wire model: fixed 30 us + memcpy rate.
+  Fixture f;
+  auto a = f.net.bind(0, 1, TransportKind::kTcpIp);
+  auto b = f.net.bind(0, 2, TransportKind::kTcpIp);
+  sim::Time arrival = -1;
+  f.eng.spawn("rx", [&] {
+    (void)b->recv();
+    arrival = f.eng.now();
+  });
+  f.eng.spawn("tx", [&] { a->send({0, 2}, make_payload(1)); });
+  f.eng.run();
+  EXPECT_LT(arrival, microseconds(40));  // far below the 276 us TCP one-way
+  EXPECT_GE(arrival, microseconds(30));
+}
+
+TEST(Datagram, LoopbackStillFifoWithRemoteTraffic) {
+  Fixture f;
+  auto rx = f.net.bind(0, 9, TransportKind::kTcpIp);
+  auto local = f.net.bind(0, 8, TransportKind::kTcpIp);
+  auto remote = f.net.bind(1, 8, TransportKind::kTcpIp);
+  std::vector<int> order;
+  f.eng.spawn("rx", [&] {
+    for (int i = 0; i < 2; ++i) {
+      auto r = rx->recv();
+      ASSERT_TRUE(r.ok());
+      order.push_back(std::to_integer<int>(r.value->payload[0]));
+    }
+  });
+  f.eng.spawn("tx", [&] {
+    remote->send({0, 9}, make_payload(4, 1));  // remote: ~276 us
+    local->send({0, 9}, make_payload(4, 2));   // loopback: ~30 us, overtakes
+  });
+  f.eng.run();
+  ASSERT_EQ(order.size(), 2u);
+  // Different sources: the loopback message legitimately arrives first.
+  EXPECT_EQ(order[0], 2);
+  EXPECT_EQ(order[1], 1);
+}
+
+// ------------------------------------------------------------ Streams ----
+
+TEST(Stream, ConnectAcceptExchange) {
+  Fixture f;
+  auto acc = f.net.listen(0, 7000, TransportKind::kTcpIp);
+  std::string got_at_server, got_at_client;
+  f.eng.spawn("server", [&] {
+    auto c = acc->accept();
+    ASSERT_TRUE(c.ok());
+    auto conn = *c.value;
+    auto m = conn->recv();
+    ASSERT_TRUE(m.ok());
+    got_at_server.assign(reinterpret_cast<const char*>(m.value->data()), m.value->size());
+    util::Bytes reply;
+    util::Writer w(reply);
+    w.raw(std::as_bytes(std::span<const char>("pong", 4)));
+    conn->send(std::move(reply));
+  });
+  f.eng.spawn("client", [&] {
+    auto conn = f.net.connect(1, {0, 7000}, TransportKind::kTcpIp);
+    ASSERT_NE(conn, nullptr);
+    util::Bytes msg;
+    util::Writer w(msg);
+    w.raw(std::as_bytes(std::span<const char>("ping", 4)));
+    conn->send(std::move(msg));
+    auto m = conn->recv();
+    ASSERT_TRUE(m.ok());
+    got_at_client.assign(reinterpret_cast<const char*>(m.value->data()), m.value->size());
+  });
+  f.eng.run();
+  EXPECT_EQ(got_at_server, "ping");
+  EXPECT_EQ(got_at_client, "pong");
+}
+
+TEST(Stream, ConnectToNobodyReturnsNull) {
+  Fixture f;
+  ConnectionPtr conn = nullptr;
+  bool ran = false;
+  f.eng.spawn("client", [&] {
+    conn = f.net.connect(1, {0, 9999}, TransportKind::kTcpIp);
+    ran = true;
+  });
+  f.eng.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(conn, nullptr);
+}
+
+TEST(Stream, GracefulCloseDrainsThenEof) {
+  Fixture f;
+  auto acc = f.net.listen(0, 7000, TransportKind::kTcpIp);
+  std::vector<sim::RecvStatus> statuses;
+  f.eng.spawn("server", [&] {
+    auto c = acc->accept();
+    ASSERT_TRUE(c.ok());
+    for (int i = 0; i < 3; ++i) statuses.push_back((*c.value)->recv().status);
+  });
+  f.eng.spawn("client", [&] {
+    auto conn = f.net.connect(1, {0, 7000}, TransportKind::kTcpIp);
+    ASSERT_NE(conn, nullptr);
+    conn->send(make_payload(4));
+    conn->send(make_payload(4));
+    conn->close();
+  });
+  f.eng.run();
+  ASSERT_EQ(statuses.size(), 3u);
+  EXPECT_EQ(statuses[0], sim::RecvStatus::kOk);
+  EXPECT_EQ(statuses[1], sim::RecvStatus::kOk);
+  EXPECT_EQ(statuses[2], sim::RecvStatus::kClosed);
+}
+
+TEST(Stream, PeerCrashBreaksConnection) {
+  Fixture f;
+  auto acc = f.net.listen(0, 7000, TransportKind::kTcpIp);
+  sim::RecvStatus server_status = sim::RecvStatus::kOk;
+  ConnectionPtr server_conn;
+  f.eng.spawn("server", [&] {
+    auto c = acc->accept();
+    ASSERT_TRUE(c.ok());
+    server_conn = *c.value;
+    server_status = server_conn->recv().status;
+  });
+  f.eng.spawn("client", [&] {
+    auto conn = f.net.connect(1, {0, 7000}, TransportKind::kTcpIp);
+    ASSERT_NE(conn, nullptr);
+    f.eng.sleep(milliseconds(5));
+  });
+  f.eng.schedule(milliseconds(2), [&] { f.net.crash_host(1); });
+  f.eng.run();
+  EXPECT_EQ(server_status, sim::RecvStatus::kClosed);
+  EXPECT_TRUE(server_conn->broken());
+  EXPECT_FALSE(server_conn->send(make_payload(1)));
+}
+
+TEST(Stream, RecvTimeout) {
+  Fixture f;
+  auto acc = f.net.listen(0, 7000, TransportKind::kTcpIp);
+  sim::RecvStatus status = sim::RecvStatus::kOk;
+  f.eng.spawn("server", [&] {
+    auto c = acc->accept();
+    ASSERT_TRUE(c.ok());
+    status = (*c.value)->recv(f.eng.now() + milliseconds(10)).status;
+  });
+  f.eng.spawn("client", [&] {
+    auto conn = f.net.connect(1, {0, 7000}, TransportKind::kTcpIp);
+    ASSERT_NE(conn, nullptr);
+    f.eng.sleep(seconds(1));  // keep the connection open, send nothing
+  });
+  f.eng.run();
+  EXPECT_EQ(status, sim::RecvStatus::kTimeout);
+}
+
+TEST(Stream, SameHostConnection) {
+  // The daemon<->client sessions sometimes run on one node.
+  Fixture f;
+  auto acc = f.net.listen(0, 7000, TransportKind::kTcpIp);
+  std::string got;
+  f.eng.spawn("server", [&] {
+    auto c = acc->accept();
+    ASSERT_TRUE(c.ok());
+    auto m = (*c.value)->recv();
+    ASSERT_TRUE(m.ok());
+    got.assign(reinterpret_cast<const char*>(m.value->data()), m.value->size());
+  });
+  f.eng.spawn("client", [&] {
+    auto conn = f.net.connect(0, {0, 7000}, TransportKind::kTcpIp);
+    ASSERT_NE(conn, nullptr);
+    util::Bytes b;
+    util::Writer w(b);
+    w.raw(std::as_bytes(std::span<const char>("self", 4)));
+    conn->send(std::move(b));
+  });
+  f.eng.run();
+  EXPECT_EQ(got, "self");
+}
+
+TEST(Stream, AcceptorHostCrashWakesAccept) {
+  Fixture f;
+  auto acc = f.net.listen(0, 7000, TransportKind::kTcpIp);
+  sim::RecvStatus status = sim::RecvStatus::kOk;
+  f.eng.spawn("server", [&] { status = acc->accept().status; });
+  f.eng.schedule(milliseconds(1), [&] { f.net.crash_host(0); });
+  f.eng.run();
+  EXPECT_EQ(status, sim::RecvStatus::kClosed);
+}
+
+TEST(Stream, ManyMessagesBothDirections) {
+  Fixture f;
+  auto acc = f.net.listen(0, 7000, TransportKind::kTcpIp);
+  int server_got = 0, client_got = 0;
+  f.eng.spawn("server", [&] {
+    auto c = acc->accept();
+    ASSERT_TRUE(c.ok());
+    auto conn = *c.value;
+    for (int i = 0; i < 30; ++i) {
+      auto m = conn->recv();
+      if (!m.ok()) break;
+      ++server_got;
+      conn->send(make_payload(8));
+    }
+  });
+  f.eng.spawn("client", [&] {
+    auto conn = f.net.connect(1, {0, 7000}, TransportKind::kTcpIp);
+    ASSERT_NE(conn, nullptr);
+    for (int i = 0; i < 30; ++i) {
+      conn->send(make_payload(8));
+      auto m = conn->recv();
+      if (!m.ok()) break;
+      ++client_got;
+    }
+  });
+  f.eng.run();
+  EXPECT_EQ(server_got, 30);
+  EXPECT_EQ(client_got, 30);
+}
+
+// ---------------------------------------------------------------- VNI ----
+
+TEST(Vni, RoundTripMatchesFigure5Anchor) {
+  // The ping application of section 5 at 1 byte: RTT 86 us on BIP.
+  Fixture f;
+  net::Vni vni_a(f.net, *f.net.host(0), TransportKind::kBipMyrinet);
+  net::Vni vni_b(f.net, *f.net.host(1), TransportKind::kBipMyrinet);
+  sim::Time rtt = -1;
+  f.eng.spawn("ponger", [&] {
+    auto r = vni_b.recv();
+    ASSERT_TRUE(r.ok());
+    vni_b.send(r.value->src, std::move(r.value->payload));
+  });
+  f.eng.spawn("pinger", [&] {
+    const sim::Time start = f.eng.now();
+    vni_a.send(vni_b.addr(), make_payload(1));
+    auto r = vni_a.recv();
+    ASSERT_TRUE(r.ok());
+    rtt = f.eng.now() - start;
+  });
+  f.eng.run();
+  // 86 us fixed cost plus the (sub-microsecond) wire term for one byte.
+  EXPECT_NEAR(static_cast<double>(rtt), static_cast<double>(microseconds(86)), 100.0);
+}
+
+TEST(Vni, PollingThreadDrainsWithoutConsumer) {
+  // Eager sends arrive before any matching receive is posted; the polling
+  // thread must pull them off the wire into the local queue.
+  Fixture f;
+  net::Vni tx(f.net, *f.net.host(0), TransportKind::kBipMyrinet);
+  net::Vni rx(f.net, *f.net.host(1), TransportKind::kBipMyrinet);
+  f.eng.spawn("tx", [&] {
+    for (int i = 0; i < 5; ++i) tx.send(rx.addr(), make_payload(16));
+  });
+  f.eng.run();
+  EXPECT_EQ(rx.queued(), 5u);
+  int drained = 0;
+  f.eng.spawn("late-rx", [&] {
+    while (rx.try_recv()) ++drained;
+  });
+  f.eng.run();
+  EXPECT_EQ(drained, 5);
+}
+
+TEST(Vni, BlockingModeChargesPenaltyOnCriticalPath) {
+  Fixture f;
+  net::Vni tx(f.net, *f.net.host(0), TransportKind::kTcpIp, /*polling=*/true);
+  net::Vni rx_polling(f.net, *f.net.host(1), TransportKind::kTcpIp, /*polling=*/true);
+  net::Vni rx_blocking(f.net, *f.net.host(2), TransportKind::kTcpIp, /*polling=*/false);
+  sim::Time t_polling = -1, t_blocking = -1;
+  f.eng.spawn("rx-poll", [&] {
+    (void)rx_polling.recv();
+    t_polling = f.eng.now();
+  });
+  f.eng.spawn("rx-block", [&] {
+    (void)rx_blocking.recv();
+    t_blocking = f.eng.now();
+  });
+  f.eng.spawn("tx", [&] {
+    tx.send(rx_polling.addr(), make_payload(8));
+    tx.send(rx_blocking.addr(), make_payload(8));
+  });
+  f.eng.run();
+  EXPECT_EQ(t_blocking - t_polling, tcp_ip_model().blocking_recv_penalty);
+}
+
+TEST(Vni, HostCrashClosesReceivePath) {
+  Fixture f;
+  auto rx = std::make_unique<net::Vni>(f.net, *f.net.host(1), TransportKind::kBipMyrinet);
+  sim::RecvStatus status = sim::RecvStatus::kOk;
+  f.eng.spawn("rx", [&] { status = rx->recv().status; });
+  f.eng.schedule(milliseconds(1), [&] { f.net.crash_host(1); });
+  f.eng.run();
+  EXPECT_EQ(status, sim::RecvStatus::kClosed);
+}
+
+TEST(Vni, CountsFrames) {
+  Fixture f;
+  net::Vni a(f.net, *f.net.host(0), TransportKind::kBipMyrinet);
+  net::Vni b(f.net, *f.net.host(1), TransportKind::kBipMyrinet);
+  f.eng.spawn("rx", [&] {
+    for (int i = 0; i < 3; ++i) (void)b.recv();
+  });
+  f.eng.spawn("tx", [&] {
+    for (int i = 0; i < 3; ++i) a.send(b.addr(), make_payload(4));
+  });
+  f.eng.run();
+  EXPECT_EQ(a.frames_sent(), 3u);
+  EXPECT_EQ(b.frames_received(), 3u);
+}
+
+// Property sweep: RTT grows linearly with size on both transports.
+class RoundTripLinearity : public ::testing::TestWithParam<TransportKind> {};
+
+TEST_P(RoundTripLinearity, RttIsAffineInMessageSize) {
+  const TransportKind kind = GetParam();
+  auto measure = [&](size_t bytes) {
+    Fixture f(2);
+    net::Vni a(f.net, *f.net.host(0), kind);
+    net::Vni b(f.net, *f.net.host(1), kind);
+    sim::Time rtt = -1;
+    f.eng.spawn("ponger", [&] {
+      auto r = b.recv();
+      if (r.ok()) b.send(r.value->src, std::move(r.value->payload));
+    });
+    f.eng.spawn("pinger", [&] {
+      const sim::Time start = f.eng.now();
+      a.send(b.addr(), make_payload(bytes));
+      (void)a.recv();
+      rtt = f.eng.now() - start;
+    });
+    f.eng.run();
+    return rtt;
+  };
+  const sim::Time r1 = measure(1);
+  const sim::Time r2 = measure(10'000);
+  const sim::Time r3 = measure(20'000);
+  const sim::Time r4 = measure(40'000);
+  EXPECT_GT(r2, r1);
+  // Affine: doubling the size increment doubles the time increment
+  // (tolerance covers integer-nanosecond rounding).
+  EXPECT_NEAR(static_cast<double>(r4 - r3), 2.0 * static_cast<double>(r3 - r2), 10.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothTransports, RoundTripLinearity,
+                         ::testing::Values(TransportKind::kTcpIp, TransportKind::kBipMyrinet));
+
+}  // namespace
+}  // namespace starfish::net

@@ -1,0 +1,324 @@
+// Failure-injection tests: crashes at adversarial moments — during
+// checkpoints, during recovery, repeatedly — plus hostile input on the
+// management protocol. The system must either recover with the exact right
+// answer or fail the job cleanly; it must never hang or corrupt state.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "util/rng.hpp"
+
+namespace starfish::core {
+namespace {
+
+using daemon::AppPhase;
+using daemon::CkptLevel;
+using daemon::CrProtocol;
+using daemon::FtPolicy;
+using daemon::JobSpec;
+using sim::milliseconds;
+using sim::seconds;
+
+std::string ring_program(int rounds, int spin) {
+  return R"(
+func main 0 2
+  syscall rank
+  store_local 0
+  syscall world_size
+  store_local 1
+  push_int 0
+  store_global 0
+  push_int 0
+  store_global 1
+loop:
+  load_global 0
+  push_int )" + std::to_string(rounds) + R"(
+  ge
+  jmp_if_false body
+  jmp done
+body:
+  push_int )" + std::to_string(spin) + R"(
+  syscall spin
+  load_local 0
+  push_int 0
+  eq
+  jmp_if_false relay
+  push_int 1
+  load_global 1
+  syscall send_to
+  push_int -1
+  syscall recv_from
+  store_global 1
+  load_global 0
+  push_int 1
+  add
+  store_global 0
+  jmp loop
+relay:
+  push_int -1
+  syscall recv_from
+  load_local 0
+  add
+  store_global 1
+  load_local 0
+  push_int 1
+  add
+  load_local 1
+  mod
+  load_global 1
+  syscall send_to
+  load_global 0
+  push_int 1
+  add
+  store_global 0
+  jmp loop
+done:
+  load_local 0
+  push_int 0
+  eq
+  jmp_if_false finish
+  load_global 1
+  syscall print
+finish:
+  halt
+)";
+}
+
+int64_t expected_token(uint32_t n, int rounds) {
+  int64_t per = 0;
+  for (uint32_t r = 1; r < n; ++r) per += r;
+  return per * rounds;
+}
+
+bool output_contains(const std::vector<std::string>& lines, const std::string& needle) {
+  return std::any_of(lines.begin(), lines.end(),
+                     [&](const std::string& l) { return l.find(needle) != std::string::npos; });
+}
+
+struct Fixture {
+  Cluster cluster;
+  explicit Fixture(size_t nodes, int rounds = 60) : cluster([&] {
+    ClusterOptions opts;
+    opts.nodes = nodes;
+    return opts;
+  }()) {
+    cluster.registry().register_vm("ring", ring_program(rounds, 100000));
+    cluster.boot();
+  }
+  JobSpec job(const std::string& name, uint32_t nprocs) {
+    JobSpec j;
+    j.name = name;
+    j.binary = "ring";
+    j.nprocs = nprocs;
+    j.policy = FtPolicy::kRestart;
+    j.protocol = CrProtocol::kStopAndSync;
+    j.level = CkptLevel::kVm;
+    j.ckpt_interval = milliseconds(50);
+    return j;
+  }
+};
+
+// ------------------------------------------------- adversarial crashes ----
+
+TEST(Resilience, CrashDuringCheckpointRecoversFromPreviousEpoch) {
+  // Kill a node exactly while an epoch is being written; the half-written
+  // epoch never commits and recovery uses the previous one.
+  Fixture f(4);
+  f.cluster.submit(f.job("midckpt", 4));
+  // First commit lands ~0.07 s in; the next checkpoint starts at ~0.10 s.
+  // Crash at 0.105 s: inside the second checkpoint's capture/write window.
+  f.cluster.run_for(milliseconds(105));
+  const auto committed_before = f.cluster.store().latest_committed("midckpt");
+  f.cluster.crash_node(2);
+  ASSERT_TRUE(f.cluster.run_until_done("midckpt"));
+  EXPECT_TRUE(output_contains(f.cluster.output("midckpt"),
+                              std::to_string(expected_token(4, 60))));
+  (void)committed_before;
+}
+
+TEST(Resilience, CrashOfCheckpointInitiatorNode) {
+  // Rank 0 initiates every coordinated checkpoint; killing its node tests
+  // recovery of the initiator role itself.
+  Fixture f(4);
+  f.cluster.submit(f.job("initiator", 4));
+  f.cluster.run_for(milliseconds(120));
+  f.cluster.crash_node(0);  // rank 0's node
+  ASSERT_TRUE(f.cluster.run_until_done("initiator"));
+  EXPECT_TRUE(output_contains(f.cluster.output("initiator"),
+                              std::to_string(expected_token(4, 60))));
+  // Checkpointing continues after the restart (rank 0 lives elsewhere now).
+  ASSERT_TRUE(f.cluster.store().latest_committed("initiator").has_value());
+}
+
+TEST(Resilience, SecondCrashDuringRecovery) {
+  // Kill another node while the restart from the first failure is under way.
+  Fixture f(5, 120);
+  f.cluster.submit(f.job("cascade", 5));
+  f.cluster.run_for(milliseconds(150));
+  f.cluster.crash_node(4);
+  f.cluster.run_for(milliseconds(280));  // detection ~250 ms: recovery starting
+  f.cluster.crash_node(3);
+  ASSERT_TRUE(f.cluster.run_until_done("cascade"));
+  EXPECT_TRUE(output_contains(f.cluster.output("cascade"),
+                              std::to_string(expected_token(5, 120))));
+}
+
+TEST(Resilience, SimultaneousDoubleCrash) {
+  Fixture f(5, 80);
+  f.cluster.submit(f.job("double", 5));
+  f.cluster.run_for(milliseconds(150));
+  f.cluster.crash_node(1);
+  f.cluster.crash_node(3);
+  ASSERT_TRUE(f.cluster.run_until_done("double"));
+  EXPECT_TRUE(output_contains(f.cluster.output("double"),
+                              std::to_string(expected_token(5, 80))));
+}
+
+TEST(Resilience, RepeatedCrashesEventuallyStillFinish) {
+  // Three separate failures over the job's life, each recovered.
+  Fixture f(6, 200);
+  f.cluster.submit(f.job("marathon", 6));
+  f.cluster.run_for(milliseconds(200));
+  f.cluster.crash_node(5);
+  f.cluster.run_for(milliseconds(700));
+  f.cluster.crash_node(4);
+  f.cluster.run_for(milliseconds(700));
+  f.cluster.crash_node(3);
+  ASSERT_TRUE(f.cluster.run_until_done("marathon", seconds(240.0)));
+  EXPECT_TRUE(output_contains(f.cluster.output("marathon"),
+                              std::to_string(expected_token(6, 200))));
+}
+
+TEST(Resilience, CrashWithChandyLamportMidSnapshot) {
+  Fixture f(4);
+  auto job = f.job("clmid", 4);
+  job.protocol = CrProtocol::kChandyLamport;
+  f.cluster.submit(job);
+  f.cluster.run_for(milliseconds(55));  // inside the first snapshot window
+  f.cluster.crash_node(1);
+  ASSERT_TRUE(f.cluster.run_until_done("clmid"));
+  EXPECT_TRUE(output_contains(f.cluster.output("clmid"),
+                              std::to_string(expected_token(4, 60))));
+}
+
+TEST(Resilience, SuspendResumeAroundCheckpointAndCrash) {
+  Fixture f(4, 80);
+  f.cluster.submit(f.job("susp", 4));
+  f.cluster.run_for(milliseconds(80));
+  f.cluster.daemon_at(0).suspend_app("susp");
+  f.cluster.run_for(milliseconds(300));
+  EXPECT_EQ(f.cluster.phase("susp"), AppPhase::kSuspended);
+  f.cluster.daemon_at(0).resume_app("susp");
+  f.cluster.run_for(milliseconds(100));
+  f.cluster.crash_node(2);
+  ASSERT_TRUE(f.cluster.run_until_done("susp"));
+  EXPECT_TRUE(output_contains(f.cluster.output("susp"),
+                              std::to_string(expected_token(4, 80))));
+}
+
+TEST(Resilience, CrashNodeHostingTwoRanks) {
+  // Co-located ranks (5 ranks on 3 nodes): one node failure kills two
+  // processes at once.
+  Fixture f(3, 80);
+  f.cluster.submit(f.job("colo", 5));
+  f.cluster.run_for(milliseconds(150));
+  f.cluster.crash_node(1);  // hosts ranks 1 and 4
+  ASSERT_TRUE(f.cluster.run_until_done("colo"));
+  EXPECT_TRUE(output_contains(f.cluster.output("colo"),
+                              std::to_string(expected_token(5, 80))));
+}
+
+TEST(Resilience, UnrelatedAppUnaffectedByCrash) {
+  // Two apps on disjoint placements: killing a node of one must not disturb
+  // the other (the lightweight-group isolation property, end to end).
+  Fixture f(6, 60);
+  auto a = f.job("appA", 3);  // ranks on nodes 0,1,2
+  f.cluster.submit(a);
+  f.cluster.run_for(milliseconds(30));
+  // Disable the first three nodes so appB lands on nodes 3,4,5.
+  f.cluster.daemon_at(0).node_ctl(0, false);
+  f.cluster.daemon_at(0).node_ctl(1, false);
+  f.cluster.daemon_at(0).node_ctl(2, false);
+  f.cluster.run_for(milliseconds(30));
+  auto b = f.job("appB", 3);
+  f.cluster.submit(b);
+  f.cluster.run_for(milliseconds(60));
+  ASSERT_FALSE(f.cluster.daemon_at(3).local_ranks("appB").empty());
+
+  f.cluster.crash_node(4);  // hits appB only
+  ASSERT_TRUE(f.cluster.run_until_done("appA"));
+  ASSERT_TRUE(f.cluster.run_until_done("appB"));
+  // appA never restarted; appB did.
+  EXPECT_EQ(f.cluster.daemon_at(0).restarts_performed(), 0u);
+  EXPECT_GE(f.cluster.daemon_at(3).restarts_performed(), 1u);
+}
+
+// ------------------------------------------------ management protocol ----
+
+TEST(Resilience, ManagementProtocolSurvivesGarbage) {
+  Fixture f(2);
+  // None of these may crash the daemon or leak a session.
+  auto replies = f.cluster.client_session(
+      0, {"", "   ", "LOGIN", "LOGIN a", "SUBMIT", "SUBMIT x", "NODE", "NODE FROB 1",
+          "NODE DISABLE abc", "SET", "GET", "\t\t", "STATUS", "!!!###$$$",
+          "LOGIN u p USER", "SUBMIT j ring -3", "SUBMIT j ring 2 BOGUS=1",
+          "SUBMIT j ring 2 POLICY=wat", "SUBMIT j ring 2 INTERVAL_MS=xyz"});
+  for (size_t i = 1; i < replies.size(); ++i) {
+    if (replies[i].rfind("OK", 0) == 0) continue;  // the LOGIN succeeds
+    EXPECT_EQ(replies[i].rfind("ERR", 0), 0u) << "reply " << i << ": " << replies[i];
+  }
+  // The daemon still works afterwards.
+  auto ok = f.cluster.client_session(0, {"LOGIN u p USER", "SUBMIT good ring 2"});
+  EXPECT_EQ(ok[2], "OK submitted good");
+  ASSERT_TRUE(f.cluster.run_until_done("good"));
+}
+
+TEST(Resilience, ClientReconnectsToAnotherDaemonAfterCrash) {
+  // Paper section 3.1.3: a client whose daemon died reconnects to another
+  // node and continues working.
+  Fixture f(3);
+  auto first = f.cluster.client_session(0, {"LOGIN alice pw USER", "SUBMIT j1 ring 2"});
+  EXPECT_EQ(first[2], "OK submitted j1");
+  f.cluster.run_for(milliseconds(50));
+  f.cluster.crash_node(0);
+  f.cluster.run_for(milliseconds(600));  // membership reconfigures
+  auto second = f.cluster.client_session(1, {"LOGIN alice pw USER", "STATUS j1", "NODES"});
+  EXPECT_NE(second[2].find("OK j1"), std::string::npos);
+  EXPECT_NE(second[3].find("2 node(s)"), std::string::npos);
+}
+
+// -------------------------------------------- randomized crash sweeps ----
+
+class CrashSweep
+    : public ::testing::TestWithParam<std::tuple<uint64_t, daemon::CrProtocol>> {};
+
+TEST_P(CrashSweep, RandomCrashTimeAndVictimAlwaysRecovers) {
+  util::Rng rng(std::get<0>(GetParam()));
+  Fixture f(4, 80);
+  auto job = f.job("sweep", 4);
+  job.protocol = std::get<1>(GetParam());
+  f.cluster.submit(job);
+  const auto crash_at = milliseconds(static_cast<int64_t>(30 + rng.below(350)));
+  const auto victim = static_cast<sim::HostId>(rng.below(4));
+  f.cluster.run_for(crash_at);
+  if (f.cluster.phase("sweep") == AppPhase::kCompleted) return;  // too late to crash
+  f.cluster.crash_node(victim);
+  ASSERT_TRUE(f.cluster.run_until_done("sweep"))
+      << "crash of node " << victim << " at " << sim::to_seconds(crash_at) << "s under "
+      << daemon::protocol_name(std::get<1>(GetParam()));
+  EXPECT_TRUE(output_contains(f.cluster.output("sweep"),
+                              std::to_string(expected_token(4, 80))));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsByProtocol, CrashSweep,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u, 10u),
+                       ::testing::Values(CrProtocol::kStopAndSync,
+                                         CrProtocol::kChandyLamport,
+                                         CrProtocol::kUncoordinated)));
+
+}  // namespace
+}  // namespace starfish::core

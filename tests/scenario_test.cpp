@@ -1,0 +1,205 @@
+// A long end-to-end scenario exercising most of the system in one run —
+// the kind of day-in-the-life sequence a real cluster sees: multiple
+// applications with different policies and protocols, cluster
+// reconfiguration, a node added at runtime, a migration, crashes, and
+// management sessions — all against one deterministic timeline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/cluster.hpp"
+
+namespace starfish::core {
+namespace {
+
+using daemon::AppPhase;
+using daemon::CkptLevel;
+using daemon::CrProtocol;
+using daemon::FtPolicy;
+using daemon::JobSpec;
+using sim::milliseconds;
+using sim::seconds;
+
+std::string ring_program(int rounds, int spin) {
+  return R"(
+func main 0 2
+  syscall rank
+  store_local 0
+  syscall world_size
+  store_local 1
+  push_int 0
+  store_global 0
+  push_int 0
+  store_global 1
+loop:
+  load_global 0
+  push_int )" + std::to_string(rounds) + R"(
+  ge
+  jmp_if_false body
+  jmp done
+body:
+  push_int )" + std::to_string(spin) + R"(
+  syscall spin
+  load_local 0
+  push_int 0
+  eq
+  jmp_if_false relay
+  push_int 1
+  load_global 1
+  syscall send_to
+  push_int -1
+  syscall recv_from
+  store_global 1
+  load_global 0
+  push_int 1
+  add
+  store_global 0
+  jmp loop
+relay:
+  push_int -1
+  syscall recv_from
+  load_local 0
+  add
+  store_global 1
+  load_local 0
+  push_int 1
+  add
+  load_local 1
+  mod
+  load_global 1
+  syscall send_to
+  load_global 0
+  push_int 1
+  add
+  store_global 0
+  jmp loop
+done:
+  load_local 0
+  push_int 0
+  eq
+  jmp_if_false finish
+  load_global 1
+  syscall print
+finish:
+  halt
+)";
+}
+
+bool output_contains(const std::vector<std::string>& lines, const std::string& needle) {
+  return std::any_of(lines.begin(), lines.end(),
+                     [&](const std::string& l) { return l.find(needle) != std::string::npos; });
+}
+
+TEST(Scenario, DayInTheLifeOfACluster) {
+  ClusterOptions opts;
+  opts.nodes = 5;
+  Cluster cluster(opts);
+  cluster.registry().register_vm("ring", ring_program(600, 100000));
+  cluster.registry().register_vm("shortring", ring_program(30, 50000));
+  cluster.boot();
+
+  // 1. An admin reconfigures the cluster and disables a flaky node.
+  auto admin = cluster.client_session(
+      0, {"LOGIN root starfish ADMIN", "SET maintenance.window 02:00", "NODE DISABLE 4"});
+  EXPECT_EQ(admin[1], "OK session management");
+  cluster.run_for(milliseconds(30));
+
+  // 2. Alice submits a long checkpointed job; Bob a short unprotected one.
+  JobSpec longjob;
+  longjob.name = "sim-long";
+  longjob.binary = "ring";
+  longjob.nprocs = 4;
+  longjob.policy = FtPolicy::kRestart;
+  longjob.protocol = CrProtocol::kStopAndSync;
+  longjob.level = CkptLevel::kVm;
+  longjob.ckpt_interval = milliseconds(100);
+  longjob.forked_ckpt = true;
+  longjob.owner = "alice";
+  cluster.submit(longjob);
+
+  JobSpec shortjob;
+  shortjob.name = "quick";
+  shortjob.binary = "shortring";
+  shortjob.nprocs = 3;
+  shortjob.owner = "bob";
+  cluster.submit(shortjob);
+
+  // The disabled node hosts nothing.
+  cluster.run_for(milliseconds(80));
+  EXPECT_TRUE(cluster.daemon_at(4).local_ranks("sim-long").empty());
+  EXPECT_TRUE(cluster.daemon_at(4).local_ranks("quick").empty());
+
+  // 3. The short job finishes untouched.
+  ASSERT_TRUE(cluster.run_until_done("quick"));
+  EXPECT_TRUE(output_contains(cluster.output("quick"), "90"));  // 30 * (1+2)
+
+  // 4. A new workstation joins; the admin re-enables node 4 too.
+  const sim::HostId newcomer = cluster.add_node();
+  cluster.daemon_at(0).node_ctl(4, true);
+  cluster.run_for(seconds(1.0));
+  EXPECT_EQ(cluster.daemon_at(0).group().view().size(), 6u);
+
+  // 5. Alice migrates rank 2 onto the fresh node.
+  cluster.daemon_at(2).migrate("sim-long", 2, newcomer);
+  cluster.run_for(milliseconds(400));
+  EXPECT_EQ(cluster.daemon_for_host(newcomer).local_ranks("sim-long"),
+            (std::vector<uint32_t>{2}));
+
+  // 6. Disaster: two nodes die, seconds apart, while the job runs.
+  cluster.crash_node(1);
+  cluster.run_for(milliseconds(600));
+  cluster.crash_node(3);
+
+  // 7. The job still completes with the exact right answer.
+  ASSERT_TRUE(cluster.run_until_done("sim-long", seconds(240.0)));
+  EXPECT_TRUE(output_contains(cluster.output("sim-long"), std::to_string(600 * (1 + 2 + 3))));
+
+  // 8. A user checks the aftermath through a surviving daemon that hosts
+  // part of the application (rank 0's node sees every completion event).
+  auto status = cluster.client_session(
+      0, {"LOGIN alice pw USER", "STATUS sim-long", "PS", "NODES"});
+  EXPECT_NE(status[2].find("phase=completed"), std::string::npos);
+  EXPECT_NE(status[4].find("4 node(s)"), std::string::npos);  // 6 - 2 crashed
+
+  // 9. Cleanup: Alice deletes her job record.
+  auto del = cluster.client_session(0, {"LOGIN alice pw USER", "DELETE sim-long"});
+  EXPECT_EQ(del[2], "OK delete requested");
+  cluster.run_for(milliseconds(100));
+  EXPECT_EQ(cluster.phase("sim-long"), AppPhase::kDeleted);
+}
+
+TEST(Scenario, MigrateViaManagementProtocol) {
+  ClusterOptions opts;
+  opts.nodes = 4;
+  Cluster cluster(opts);
+  cluster.registry().register_vm("ring", ring_program(300, 100000));
+  cluster.boot();
+  JobSpec job;
+  job.name = "mj";
+  job.binary = "ring";
+  job.nprocs = 3;  // nodes 0-2; node 3 idle
+  job.policy = FtPolicy::kRestart;
+  job.protocol = CrProtocol::kStopAndSync;
+  job.owner = "alice";
+  cluster.submit(job);
+  cluster.run_for(milliseconds(80));
+
+  // Wrong daemon: node 3 does not host the app.
+  auto nope = cluster.client_session(3, {"LOGIN alice pw USER", "MIGRATE mj 1 3"});
+  EXPECT_NE(nope[2].find("ERR not hosted"), std::string::npos);
+  // Wrong owner.
+  auto mallory = cluster.client_session(1, {"LOGIN mallory pw USER", "MIGRATE mj 1 3"});
+  EXPECT_EQ(mallory[2], "ERR not your job");
+  // Right daemon, right owner.
+  auto ok = cluster.client_session(1, {"LOGIN alice pw USER", "MIGRATE mj 1 3"});
+  EXPECT_EQ(ok[2], "OK migration started");
+
+  ASSERT_TRUE(cluster.run_until_done("mj", seconds(120.0)));
+  EXPECT_EQ(cluster.daemon_at(3).local_ranks("mj"), (std::vector<uint32_t>{1}));
+  EXPECT_TRUE(output_contains(cluster.output("mj"), std::to_string(300 * (1 + 2))));
+}
+
+}  // namespace
+}  // namespace starfish::core

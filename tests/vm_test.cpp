@@ -1,0 +1,679 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "vm/bytecode.hpp"
+#include "vm/interp.hpp"
+#include "vm/value.hpp"
+#include "vm/verify.hpp"
+
+namespace starfish::vm {
+namespace {
+
+const sim::Machine kM32 = {"i686", "Linux", util::Endian::kLittle, 4};
+const sim::Machine kM64 = {"Alpha", "Linux", util::Endian::kLittle, 8};
+
+Program must_assemble(const std::string& src) {
+  auto r = assemble(src);
+  EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.error().to_string());
+  return r.ok() ? r.value() : Program{};
+}
+
+/// Runs `src`'s main to completion on `machine`; returns top of stack.
+Value run_to_halt(const std::string& src, const sim::Machine& machine = kM32) {
+  Program prog = must_assemble(src);
+  Interpreter interp(prog, machine);
+  interp.start();
+  auto r = interp.run();
+  EXPECT_EQ(r.status, RunStatus::kHalted) << r.trap;
+  return interp.mutable_state().stack.empty() ? Value::unit()
+                                              : interp.mutable_state().stack.back();
+}
+
+// ---------------------------------------------------------- assembler ----
+
+TEST(Assembler, RejectsUnknownMnemonic) {
+  auto r = assemble("func main 0 0\n  frobnicate\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "asm");
+}
+
+TEST(Assembler, RejectsUnknownLabel) {
+  auto r = assemble("func main 0 0\n  jmp nowhere\n");
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(Assembler, RejectsInstructionOutsideFunction) {
+  EXPECT_FALSE(assemble("push_int 1\n").ok());
+}
+
+TEST(Assembler, RejectsBadOperandCounts) {
+  EXPECT_FALSE(assemble("func main 0 0\n  push_int\n").ok());
+  EXPECT_FALSE(assemble("func main 0 0\n  add 3\n").ok());
+  EXPECT_FALSE(assemble("func main 0\n  halt\n").ok());
+}
+
+TEST(Assembler, CommentsAndBlankLinesIgnored) {
+  auto r = assemble("# header comment\n\nfunc main 0 0\n  push_int 7  # trailing\n  halt\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().functions[0].code.size(), 2u);
+}
+
+TEST(Assembler, ForwardFunctionReferencesResolve) {
+  auto r = assemble(R"(
+func main 0 0
+  push_int 4
+  call helper
+  halt
+func helper 1 1
+  load_local 0
+  push_int 1
+  add
+  ret
+)");
+  ASSERT_TRUE(r.ok());
+}
+
+// -------------------------------------------------------- interpreter ----
+
+TEST(Interp, ArithmeticExpression) {
+  // (7 * 6) - (10 / 2) = 37
+  Value v = run_to_halt(R"(
+func main 0 0
+  push_int 7
+  push_int 6
+  mul
+  push_int 10
+  push_int 2
+  div
+  sub
+  halt
+)");
+  EXPECT_EQ(v, Value::integer(37));
+}
+
+TEST(Interp, FloatArithmetic) {
+  Value v = run_to_halt(R"(
+func main 0 0
+  push_float 1.5
+  push_float 2.25
+  fadd
+  push_float 2.0
+  fmul
+  halt
+)");
+  ASSERT_EQ(v.tag, Tag::kFloat);
+  EXPECT_DOUBLE_EQ(v.f, 7.5);
+}
+
+TEST(Interp, LoopComputesTriangularNumber) {
+  // sum 1..100 = 5050 via locals and a backward jump.
+  Value v = run_to_halt(R"(
+func main 0 2
+  push_int 0
+  store_local 0      # acc
+  push_int 1
+  store_local 1      # i
+loop:
+  load_local 1
+  push_int 100
+  le
+  jmp_if_false done
+  load_local 0
+  load_local 1
+  add
+  store_local 0
+  load_local 1
+  push_int 1
+  add
+  store_local 1
+  jmp loop
+done:
+  load_local 0
+  halt
+)");
+  EXPECT_EQ(v, Value::integer(5050));
+}
+
+TEST(Interp, FunctionCallAndReturn) {
+  Value v = run_to_halt(R"(
+func main 0 0
+  push_int 9
+  push_int 16
+  call hypot2
+  halt
+func hypot2 2 2
+  load_local 0
+  load_local 0
+  mul
+  load_local 1
+  load_local 1
+  mul
+  add
+  ret
+)");
+  EXPECT_EQ(v, Value::integer(81 + 256));
+}
+
+TEST(Interp, RecursionFactorial) {
+  Value v = run_to_halt(R"(
+func main 0 0
+  push_int 10
+  call fact
+  halt
+func fact 1 1
+  load_local 0
+  push_int 1
+  le
+  jmp_if_false rec
+  push_int 1
+  ret
+rec:
+  load_local 0
+  push_int 1
+  sub
+  call fact
+  load_local 0
+  mul
+  ret
+)");
+  EXPECT_EQ(v, Value::integer(3628800));
+}
+
+TEST(Interp, GlobalsPersistAcrossCalls) {
+  Value v = run_to_halt(R"(
+func main 0 0
+  push_int 5
+  store_global 3
+  call bump
+  pop
+  load_global 3
+  halt
+func bump 0 0
+  load_global 3
+  push_int 1
+  add
+  store_global 3
+  push_unit
+  ret
+)");
+  EXPECT_EQ(v, Value::integer(6));
+}
+
+TEST(Interp, HeapArrayRoundtrip) {
+  Value v = run_to_halt(R"(
+func main 0 1
+  push_int 10
+  new_array
+  store_local 0
+  load_local 0
+  push_int 4
+  push_int 99
+  astore
+  load_local 0
+  push_int 4
+  aload
+  halt
+)");
+  EXPECT_EQ(v, Value::integer(99));
+}
+
+TEST(Interp, ArrayLength) {
+  Value v = run_to_halt(R"(
+func main 0 0
+  push_int 17
+  new_array
+  alen
+  halt
+)");
+  EXPECT_EQ(v, Value::integer(17));
+}
+
+TEST(Interp, WordWrap32BitOverflow) {
+  // 2^31 - 1 + 1 wraps negative on a 32-bit machine...
+  Value v32 = run_to_halt(R"(
+func main 0 0
+  push_int 2147483647
+  push_int 1
+  add
+  halt
+)", kM32);
+  EXPECT_EQ(v32, Value::integer(INT32_MIN));
+  // ...but not on a 64-bit machine.
+  Value v64 = run_to_halt(R"(
+func main 0 0
+  push_int 2147483647
+  push_int 1
+  add
+  halt
+)", kM64);
+  EXPECT_EQ(v64, Value::integer(2147483648ll));
+}
+
+TEST(Interp, DivisionByZeroTraps) {
+  Program prog = must_assemble("func main 0 0\n push_int 1\n push_int 0\n div\n halt\n");
+  Interpreter interp(prog, kM32);
+  interp.start();
+  auto r = interp.run();
+  EXPECT_EQ(r.status, RunStatus::kTrap);
+  EXPECT_NE(r.trap.find("division"), std::string::npos);
+}
+
+TEST(Interp, OutOfBoundsArrayTraps) {
+  Program prog = must_assemble(R"(
+func main 0 0
+  push_int 3
+  new_array
+  push_int 5
+  aload
+  halt
+)");
+  Interpreter interp(prog, kM32);
+  interp.start();
+  EXPECT_EQ(interp.run().status, RunStatus::kTrap);
+}
+
+TEST(Interp, StackUnderflowTraps) {
+  Program prog = must_assemble("func main 0 0\n add\n halt\n");
+  Interpreter interp(prog, kM32);
+  interp.start();
+  EXPECT_EQ(interp.run().status, RunStatus::kTrap);
+}
+
+TEST(Interp, TypeErrorTraps) {
+  Program prog = must_assemble("func main 0 0\n push_float 1.0\n push_int 2\n add\n halt\n");
+  Interpreter interp(prog, kM32);
+  interp.start();
+  EXPECT_EQ(interp.run().status, RunStatus::kTrap);
+}
+
+TEST(Interp, SyscallReturnsControlToHost) {
+  Program prog = must_assemble(R"(
+func main 0 0
+  syscall rank
+  push_int 100
+  add
+  halt
+)");
+  Interpreter interp(prog, kM32);
+  interp.start();
+  auto r = interp.run();
+  ASSERT_EQ(r.status, RunStatus::kSyscall);
+  EXPECT_EQ(r.syscall, Syscall::kRank);
+  // Until the host completes the call, the pc stays at the syscall: a
+  // checkpoint here would re-execute it after restore.
+  auto again = interp.run(0);
+  EXPECT_EQ(again.status, RunStatus::kRunning);
+  interp.push_value(Value::integer(3));  // host services the call
+  interp.complete_syscall();
+  r = interp.run();
+  ASSERT_EQ(r.status, RunStatus::kHalted);
+  EXPECT_EQ(interp.mutable_state().stack.back(), Value::integer(103));
+}
+
+TEST(Interp, BlockedSyscallStateIsRestartable) {
+  // Snapshot while a syscall is pending; the restored interpreter re-issues
+  // the same syscall with the argument stack intact.
+  Program prog = must_assemble(R"(
+func main 0 0
+  push_int 2
+  syscall recv_from
+  push_int 10
+  add
+  halt
+)");
+  Interpreter a(prog, kM32);
+  a.start();
+  auto r = a.run();
+  ASSERT_EQ(r.status, RunStatus::kSyscall);
+  EXPECT_EQ(r.syscall, Syscall::kRecvFrom);
+  EXPECT_EQ(a.peek_value(0), Value::integer(2));  // arg still on the stack
+
+  VmState snapshot = a.state();  // "checkpoint" taken while blocked
+  Interpreter b(prog, kM32);
+  b.set_state(snapshot);
+  auto rb = b.run();
+  ASSERT_EQ(rb.status, RunStatus::kSyscall);  // re-executes the receive
+  EXPECT_EQ(rb.syscall, Syscall::kRecvFrom);
+  (void)b.pop_value();
+  b.push_value(Value::integer(32));  // the replayed message
+  b.complete_syscall();
+  rb = b.run();
+  ASSERT_EQ(rb.status, RunStatus::kHalted);
+  EXPECT_EQ(b.mutable_state().stack.back(), Value::integer(42));
+}
+
+TEST(Interp, StepBudgetSuspendsAndResumes) {
+  Program prog = must_assemble(R"(
+func main 0 1
+  push_int 0
+  store_local 0
+loop:
+  load_local 0
+  push_int 1
+  add
+  store_local 0
+  load_local 0
+  push_int 1000
+  lt
+  jmp_if_false done
+  jmp loop
+done:
+  load_local 0
+  halt
+)");
+  Interpreter interp(prog, kM32);
+  interp.start();
+  int resumes = 0;
+  for (;;) {
+    auto r = interp.run(100);
+    if (r.status == RunStatus::kHalted) break;
+    ASSERT_EQ(r.status, RunStatus::kRunning);
+    ++resumes;
+    ASSERT_LT(resumes, 1000);
+  }
+  EXPECT_GT(resumes, 10);
+  EXPECT_EQ(interp.mutable_state().stack.back(), Value::integer(1000));
+}
+
+TEST(Interp, StateSnapshotMidRunResumesIdentically) {
+  // Run half on one interpreter, snapshot, resume on a second interpreter:
+  // the checkpointing property the whole system relies on.
+  const std::string src = R"(
+func main 0 2
+  push_int 0
+  store_local 0
+  push_int 1
+  store_local 1
+loop:
+  load_local 1
+  push_int 200
+  le
+  jmp_if_false done
+  load_local 0
+  load_local 1
+  add
+  store_local 0
+  load_local 1
+  push_int 1
+  add
+  store_local 1
+  jmp loop
+done:
+  load_local 0
+  halt
+)";
+  Program prog = must_assemble(src);
+  Interpreter a(prog, kM32);
+  a.start();
+  (void)a.run(500);  // stop somewhere in the middle
+  VmState snapshot = a.state();
+
+  Interpreter b(prog, kM32);
+  b.set_state(snapshot);
+  auto r = b.run();
+  ASSERT_EQ(r.status, RunStatus::kHalted);
+  EXPECT_EQ(b.mutable_state().stack.back(), Value::integer(201 * 100));
+
+  // The original also finishes with the same answer (snapshot is a copy).
+  r = a.run();
+  ASSERT_EQ(r.status, RunStatus::kHalted);
+  EXPECT_EQ(a.mutable_state().stack.back(), Value::integer(201 * 100));
+}
+
+TEST(Interp, SwapDupPopNotAndOr) {
+  Value v = run_to_halt(R"(
+func main 0 0
+  push_int 6
+  push_int 3
+  swap
+  sub            # 3 - 6 = -3
+  neg            # 3
+  dup
+  add            # 6
+  push_int 12
+  and            # 6 & 12 = 4
+  push_int 1
+  or             # 5
+  halt
+)");
+  EXPECT_EQ(v, Value::integer(5));
+}
+
+TEST(Interp, NotOperator) {
+  Value v = run_to_halt(R"(
+func main 0 0
+  push_bool 0
+  not
+  halt
+)");
+  EXPECT_EQ(v, Value::boolean(true));
+}
+
+TEST(Interp, IntFloatConversions) {
+  Value v = run_to_halt(R"(
+func main 0 0
+  push_int 7
+  i2f
+  push_float 2.0
+  fdiv           # 3.5
+  f2i            # 3
+  halt
+)");
+  EXPECT_EQ(v, Value::integer(3));
+}
+
+TEST(Interp, FloatNegAndComparisons) {
+  Value v = run_to_halt(R"(
+func main 0 0
+  push_float 1.5
+  neg
+  push_float -1.5
+  eq
+  halt
+)");
+  EXPECT_EQ(v, Value::boolean(true));
+}
+
+TEST(Interp, ByteObjectsViaAlen) {
+  Value v = run_to_halt(R"(
+func main 0 0
+  push_int 33
+  new_bytes
+  alen
+  halt
+)");
+  EXPECT_EQ(v, Value::integer(33));
+}
+
+TEST(Interp, NestedCallsThreeDeep) {
+  Value v = run_to_halt(R"(
+func main 0 0
+  push_int 2
+  call twice
+  halt
+func twice 1 1
+  load_local 0
+  call inc
+  call inc
+  ret
+func inc 1 1
+  load_local 0
+  push_int 1
+  add
+  ret
+)");
+  EXPECT_EQ(v, Value::integer(4));
+}
+
+TEST(Interp, ModAndDivTruncateTowardZero) {
+  Value v = run_to_halt(R"(
+func main 0 0
+  push_int -7
+  push_int 2
+  div            # -3
+  push_int -7
+  push_int 2
+  mod            # -1
+  add
+  halt
+)");
+  EXPECT_EQ(v, Value::integer(-4));
+}
+
+TEST(Interp, AstoreTypeErrorsTrap) {
+  Program prog = must_assemble(R"(
+func main 0 0
+  push_int 1
+  push_int 0
+  push_int 5
+  astore
+  halt
+)");
+  Interpreter interp(prog, kM32);
+  interp.start();
+  EXPECT_EQ(interp.run().status, RunStatus::kTrap);
+}
+
+TEST(Interp, JmpIfFalseOnNonBoolTraps) {
+  Program prog = must_assemble(R"(
+func main 0 0
+  push_int 1
+  jmp_if_false out
+out:
+  halt
+)");
+  Interpreter interp(prog, kM32);
+  interp.start();
+  EXPECT_EQ(interp.run().status, RunStatus::kTrap);
+}
+
+TEST(Interp, FootprintGrowsWithHeap) {
+  Program prog = must_assemble(R"(
+func main 0 0
+  push_int 10000
+  new_array
+  pop
+  halt
+)");
+  Interpreter interp(prog, kM32);
+  interp.start();
+  const uint64_t before = interp.state().footprint_bytes();
+  (void)interp.run();
+  EXPECT_GT(interp.state().footprint_bytes(), before + 10000 * sizeof(Value) - 1);
+}
+
+// ----------------------------------------------------------- verifier ----
+
+TEST(Verify, AcceptsWellFormedProgram) {
+  Program p = must_assemble(R"(
+func main 0 1
+  push_int 1
+  store_local 0
+  load_local 0
+  call helper
+  halt
+func helper 1 1
+  load_local 0
+  ret
+)");
+  EXPECT_TRUE(validate(p).ok());
+}
+
+TEST(Verify, RejectsMissingMain) {
+  Program p = must_assemble("func notmain 0 0\n  halt\n");
+  auto r = validate(p);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("main"), std::string::npos);
+}
+
+TEST(Verify, RejectsFallOffEnd) {
+  Program p = must_assemble("func main 0 0\n  push_int 1\n  pop\n");
+  EXPECT_FALSE(validate(p).ok());
+}
+
+TEST(Verify, RejectsOutOfRangeLocal) {
+  Program p = must_assemble("func main 0 1\n  load_local 0\n  halt\n");
+  p.functions[0].code[0].imm_i = 5;  // corrupt the slot index
+  EXPECT_FALSE(validate(p).ok());
+}
+
+TEST(Verify, RejectsBadJumpTarget) {
+  Program p = must_assemble("func main 0 0\n  jmp end\nend:\n  halt\n");
+  p.functions[0].code[0].imm_i = 99;
+  EXPECT_FALSE(validate(p).ok());
+}
+
+TEST(Verify, RejectsBadCallIndex) {
+  Program p = must_assemble("func main 0 0\n  call main\n  halt\n");
+  p.functions[0].code[0].imm_i = 7;
+  EXPECT_FALSE(validate(p).ok());
+}
+
+TEST(Verify, RejectsUnknownSyscallId) {
+  Program p = must_assemble("func main 0 0\n  syscall print\n  halt\n");
+  p.functions[0].code[0].imm_i = 200;
+  EXPECT_FALSE(validate(p).ok());
+}
+
+TEST(Verify, RejectsDuplicateFunctionNames) {
+  Program p = must_assemble("func main 0 0\n  halt\n");
+  p.functions.push_back(p.functions[0]);
+  EXPECT_FALSE(validate(p).ok());
+}
+
+TEST(Disassemble, RoundTripPreservesBehavior) {
+  const std::string src = R"(
+func main 0 2
+  push_int 0
+  store_local 0
+  push_int 1
+  store_local 1
+loop:
+  load_local 1
+  push_int 25
+  le
+  jmp_if_false done
+  load_local 0
+  load_local 1
+  add
+  store_local 0
+  load_local 1
+  push_int 1
+  add
+  store_local 1
+  jmp loop
+done:
+  load_local 0
+  halt
+)";
+  Program original = must_assemble(src);
+  const std::string listing = disassemble(original);
+  Program again = must_assemble(listing);
+  EXPECT_TRUE(validate(again).ok());
+  Interpreter a(original, kM32), b(again, kM32);
+  a.start();
+  b.start();
+  (void)a.run();
+  (void)b.run();
+  EXPECT_EQ(a.state().stack, b.state().stack);  // sum 1..25 = 325 both ways
+  EXPECT_EQ(a.state().stack.back(), Value::integer(325));
+}
+
+TEST(Disassemble, RendersSyscallsAndCallsByName) {
+  Program p = must_assemble(R"(
+func main 0 0
+  syscall rank
+  call helper
+  halt
+func helper 1 1
+  load_local 0
+  ret
+)");
+  const std::string listing = disassemble(p);
+  EXPECT_NE(listing.find("syscall rank"), std::string::npos);
+  EXPECT_NE(listing.find("call helper"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace starfish::vm
