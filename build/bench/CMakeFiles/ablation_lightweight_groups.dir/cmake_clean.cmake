@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lightweight_groups.dir/ablation_lightweight_groups.cpp.o"
+  "CMakeFiles/ablation_lightweight_groups.dir/ablation_lightweight_groups.cpp.o.d"
+  "ablation_lightweight_groups"
+  "ablation_lightweight_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lightweight_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

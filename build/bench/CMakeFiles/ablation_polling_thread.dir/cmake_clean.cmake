@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_polling_thread.dir/ablation_polling_thread.cpp.o"
+  "CMakeFiles/ablation_polling_thread.dir/ablation_polling_thread.cpp.o.d"
+  "ablation_polling_thread"
+  "ablation_polling_thread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_polling_thread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

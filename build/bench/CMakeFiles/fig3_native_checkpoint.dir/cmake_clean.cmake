@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_native_checkpoint.dir/fig3_native_checkpoint.cpp.o"
+  "CMakeFiles/fig3_native_checkpoint.dir/fig3_native_checkpoint.cpp.o.d"
+  "fig3_native_checkpoint"
+  "fig3_native_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_native_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_vm_checkpoint.dir/fig4_vm_checkpoint.cpp.o"
+  "CMakeFiles/fig4_vm_checkpoint.dir/fig4_vm_checkpoint.cpp.o.d"
+  "fig4_vm_checkpoint"
+  "fig4_vm_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_vm_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

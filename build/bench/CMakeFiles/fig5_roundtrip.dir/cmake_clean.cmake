@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_roundtrip.dir/fig5_roundtrip.cpp.o"
+  "CMakeFiles/fig5_roundtrip.dir/fig5_roundtrip.cpp.o.d"
+  "fig5_roundtrip"
+  "fig5_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

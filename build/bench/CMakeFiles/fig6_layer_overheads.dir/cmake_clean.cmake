@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_layer_overheads.dir/fig6_layer_overheads.cpp.o"
+  "CMakeFiles/fig6_layer_overheads.dir/fig6_layer_overheads.cpp.o.d"
+  "fig6_layer_overheads"
+  "fig6_layer_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_layer_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

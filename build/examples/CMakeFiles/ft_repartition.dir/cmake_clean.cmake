@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_repartition.dir/ft_repartition.cpp.o"
+  "CMakeFiles/ft_repartition.dir/ft_repartition.cpp.o.d"
+  "ft_repartition"
+  "ft_repartition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_repartition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

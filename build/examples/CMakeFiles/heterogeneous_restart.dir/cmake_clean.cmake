@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneous_restart.dir/heterogeneous_restart.cpp.o"
+  "CMakeFiles/heterogeneous_restart.dir/heterogeneous_restart.cpp.o.d"
+  "heterogeneous_restart"
+  "heterogeneous_restart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneous_restart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/management_cli.dir/management_cli.cpp.o"
+  "CMakeFiles/management_cli.dir/management_cli.cpp.o.d"
+  "management_cli"
+  "management_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/management_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

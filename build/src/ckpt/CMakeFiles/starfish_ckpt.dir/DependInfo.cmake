@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ckpt/image.cpp" "src/ckpt/CMakeFiles/starfish_ckpt.dir/image.cpp.o" "gcc" "src/ckpt/CMakeFiles/starfish_ckpt.dir/image.cpp.o.d"
+  "/root/repo/src/ckpt/incremental.cpp" "src/ckpt/CMakeFiles/starfish_ckpt.dir/incremental.cpp.o" "gcc" "src/ckpt/CMakeFiles/starfish_ckpt.dir/incremental.cpp.o.d"
+  "/root/repo/src/ckpt/recovery.cpp" "src/ckpt/CMakeFiles/starfish_ckpt.dir/recovery.cpp.o" "gcc" "src/ckpt/CMakeFiles/starfish_ckpt.dir/recovery.cpp.o.d"
+  "/root/repo/src/ckpt/store.cpp" "src/ckpt/CMakeFiles/starfish_ckpt.dir/store.cpp.o" "gcc" "src/ckpt/CMakeFiles/starfish_ckpt.dir/store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/starfish_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/starfish_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/starfish_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starfish_ckpt.dir/image.cpp.o"
+  "CMakeFiles/starfish_ckpt.dir/image.cpp.o.d"
+  "CMakeFiles/starfish_ckpt.dir/incremental.cpp.o"
+  "CMakeFiles/starfish_ckpt.dir/incremental.cpp.o.d"
+  "CMakeFiles/starfish_ckpt.dir/recovery.cpp.o"
+  "CMakeFiles/starfish_ckpt.dir/recovery.cpp.o.d"
+  "CMakeFiles/starfish_ckpt.dir/store.cpp.o"
+  "CMakeFiles/starfish_ckpt.dir/store.cpp.o.d"
+  "libstarfish_ckpt.a"
+  "libstarfish_ckpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starfish_ckpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

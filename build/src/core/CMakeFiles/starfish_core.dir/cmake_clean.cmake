@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starfish_core.dir/cluster.cpp.o"
+  "CMakeFiles/starfish_core.dir/cluster.cpp.o.d"
+  "CMakeFiles/starfish_core.dir/cr.cpp.o"
+  "CMakeFiles/starfish_core.dir/cr.cpp.o.d"
+  "CMakeFiles/starfish_core.dir/process.cpp.o"
+  "CMakeFiles/starfish_core.dir/process.cpp.o.d"
+  "libstarfish_core.a"
+  "libstarfish_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starfish_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starfish_daemon.dir/daemon.cpp.o"
+  "CMakeFiles/starfish_daemon.dir/daemon.cpp.o.d"
+  "CMakeFiles/starfish_daemon.dir/mgmt.cpp.o"
+  "CMakeFiles/starfish_daemon.dir/mgmt.cpp.o.d"
+  "CMakeFiles/starfish_daemon.dir/wire.cpp.o"
+  "CMakeFiles/starfish_daemon.dir/wire.cpp.o.d"
+  "libstarfish_daemon.a"
+  "libstarfish_daemon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starfish_daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

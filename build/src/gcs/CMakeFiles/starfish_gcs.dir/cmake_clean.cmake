@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starfish_gcs.dir/endpoint.cpp.o"
+  "CMakeFiles/starfish_gcs.dir/endpoint.cpp.o.d"
+  "CMakeFiles/starfish_gcs.dir/lightweight.cpp.o"
+  "CMakeFiles/starfish_gcs.dir/lightweight.cpp.o.d"
+  "CMakeFiles/starfish_gcs.dir/wire.cpp.o"
+  "CMakeFiles/starfish_gcs.dir/wire.cpp.o.d"
+  "libstarfish_gcs.a"
+  "libstarfish_gcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starfish_gcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

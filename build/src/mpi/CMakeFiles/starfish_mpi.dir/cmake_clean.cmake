@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starfish_mpi.dir/comm.cpp.o"
+  "CMakeFiles/starfish_mpi.dir/comm.cpp.o.d"
+  "CMakeFiles/starfish_mpi.dir/datatype.cpp.o"
+  "CMakeFiles/starfish_mpi.dir/datatype.cpp.o.d"
+  "CMakeFiles/starfish_mpi.dir/frame.cpp.o"
+  "CMakeFiles/starfish_mpi.dir/frame.cpp.o.d"
+  "CMakeFiles/starfish_mpi.dir/proc.cpp.o"
+  "CMakeFiles/starfish_mpi.dir/proc.cpp.o.d"
+  "libstarfish_mpi.a"
+  "libstarfish_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starfish_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstarfish_mpi.a"
+)

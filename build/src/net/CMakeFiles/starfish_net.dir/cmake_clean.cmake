@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starfish_net.dir/model_params.cpp.o"
+  "CMakeFiles/starfish_net.dir/model_params.cpp.o.d"
+  "CMakeFiles/starfish_net.dir/network.cpp.o"
+  "CMakeFiles/starfish_net.dir/network.cpp.o.d"
+  "CMakeFiles/starfish_net.dir/vni.cpp.o"
+  "CMakeFiles/starfish_net.dir/vni.cpp.o.d"
+  "libstarfish_net.a"
+  "libstarfish_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starfish_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

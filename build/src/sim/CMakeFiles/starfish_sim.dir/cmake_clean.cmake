@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starfish_sim.dir/engine.cpp.o"
+  "CMakeFiles/starfish_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/starfish_sim.dir/machine.cpp.o"
+  "CMakeFiles/starfish_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/starfish_sim.dir/time.cpp.o"
+  "CMakeFiles/starfish_sim.dir/time.cpp.o.d"
+  "libstarfish_sim.a"
+  "libstarfish_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starfish_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starfish_util.dir/log.cpp.o"
+  "CMakeFiles/starfish_util.dir/log.cpp.o.d"
+  "CMakeFiles/starfish_util.dir/strings.cpp.o"
+  "CMakeFiles/starfish_util.dir/strings.cpp.o.d"
+  "libstarfish_util.a"
+  "libstarfish_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starfish_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starfish_vm.dir/asm.cpp.o"
+  "CMakeFiles/starfish_vm.dir/asm.cpp.o.d"
+  "CMakeFiles/starfish_vm.dir/interp.cpp.o"
+  "CMakeFiles/starfish_vm.dir/interp.cpp.o.d"
+  "CMakeFiles/starfish_vm.dir/value.cpp.o"
+  "CMakeFiles/starfish_vm.dir/value.cpp.o.d"
+  "CMakeFiles/starfish_vm.dir/verify.cpp.o"
+  "CMakeFiles/starfish_vm.dir/verify.cpp.o.d"
+  "libstarfish_vm.a"
+  "libstarfish_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starfish_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

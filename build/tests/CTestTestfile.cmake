@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/gcs_test[1]_include.cmake")
+include("/root/repo/build/tests/vm_test[1]_include.cmake")
+include("/root/repo/build/tests/ckpt_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/resilience_test[1]_include.cmake")
+include("/root/repo/build/tests/daemon_test[1]_include.cmake")
+include("/root/repo/build/tests/scenario_test[1]_include.cmake")
