@@ -6,13 +6,100 @@
 // than racing the host CPU (see EXPERIMENTS.md).
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/cluster.hpp"
 #include "util/strings.hpp"
 
 namespace starfish::benchutil {
+
+// ------------------------------------------------- machine-readable mode ----
+//
+// Every figure bench accepts `--json FILE`. The human-readable text output
+// (and every simulated-time number in it) is unchanged; the JSON file adds
+// the host-side dimensions — wall-clock per run and simulator throughput
+// (events/sec from Engine::events_executed()) — that the text output
+// deliberately omits. scripts/bench_json.sh merges these into BENCH_PR1.json.
+
+/// Host wall-clock stopwatch, started at construction.
+class HostTimer {
+ public:
+  HostTimer() : start_(std::chrono::steady_clock::now()) {}
+  uint64_t ns() const {
+    return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                     std::chrono::steady_clock::now() - start_)
+                                     .count());
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// One measured run: the figure's reported metric plus host cost.
+struct JsonRun {
+  std::string name;      ///< e.g. "fig3/bytes=647168/nodes=2"
+  uint64_t host_ns = 0;  ///< host wall-clock spent on the run
+  uint64_t sim_ns = 0;   ///< engine.now() when the run finished
+  uint64_t events = 0;   ///< engine.events_executed() when the run finished
+  double value = 0.0;    ///< the metric the text output reports (s or us)
+};
+
+class JsonReporter {
+ public:
+  /// Scans argv for "--json FILE"; stays disabled when absent.
+  JsonReporter(int argc, char** argv) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::string(argv[i]) == "--json") path_ = argv[i + 1];
+    }
+  }
+
+  bool enabled() const { return !path_.empty(); }
+  void add(JsonRun run) { runs_.push_back(std::move(run)); }
+
+  /// Writes {"bench": <name>, "runs": [...]} to the --json path. Returns
+  /// false (after perror) if the file cannot be written.
+  bool write(const std::string& bench) const {
+    if (!enabled()) return true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::perror(("bench --json: " + path_).c_str());
+      return false;
+    }
+    std::fprintf(f, "{\"bench\": \"%s\", \"runs\": [", escape(bench).c_str());
+    for (size_t i = 0; i < runs_.size(); ++i) {
+      const JsonRun& r = runs_[i];
+      const double host_s = static_cast<double>(r.host_ns) / 1e9;
+      const double eps = host_s > 0 ? static_cast<double>(r.events) / host_s : 0.0;
+      std::fprintf(f,
+                   "%s\n  {\"name\": \"%s\", \"value\": %.9g, \"host_ns\": %llu, "
+                   "\"sim_ns\": %llu, \"events\": %llu, \"events_per_sec\": %.6g}",
+                   i == 0 ? "" : ",", escape(r.name).c_str(), r.value,
+                   static_cast<unsigned long long>(r.host_ns),
+                   static_cast<unsigned long long>(r.sim_ns),
+                   static_cast<unsigned long long>(r.events), eps);
+    }
+    std::fprintf(f, "\n]}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string path_;
+  std::vector<JsonRun> runs_;
+};
 
 /// VM token-ring program used by several benches; `rounds` circulations with
 /// `spin` VM instructions of per-rank work per round.

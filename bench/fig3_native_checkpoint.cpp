@@ -20,7 +20,8 @@ using namespace starfish;
 
 namespace {
 
-double run_once(uint64_t file_bytes, uint32_t nodes) {
+double run_once(uint64_t file_bytes, uint32_t nodes, benchutil::JsonReporter& json) {
+  benchutil::HostTimer timer;
   core::ClusterOptions opts;
   opts.nodes = nodes;
   core::Cluster cluster(opts);
@@ -41,12 +42,19 @@ double run_once(uint64_t file_bytes, uint32_t nodes) {
   job.protocol = daemon::CrProtocol::kStopAndSync;
   job.level = daemon::CkptLevel::kNative;
   cluster.submit(job);
-  return benchutil::measure_epoch_seconds(cluster, "fig3");
+  const double secs = benchutil::measure_epoch_seconds(cluster, "fig3");
+  if (json.enabled()) {
+    json.add({"fig3/bytes=" + std::to_string(file_bytes) + "/nodes=" + std::to_string(nodes),
+              timer.ns(), static_cast<uint64_t>(cluster.engine().now()),
+              cluster.engine().events_executed(), secs});
+  }
+  return secs;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  benchutil::JsonReporter json(argc, argv);
   benchutil::header(
       "Figure 3: native (homogeneous) checkpoint time vs data size, stop-and-sync");
   std::printf("paper anchors: 632 KB -> 0.104061 s (1 node), 0.131898 s (2), 0.149219 s (4);\n"
@@ -59,12 +67,12 @@ int main() {
   for (uint64_t size : sizes) {
     std::printf("%12s", util::format_bytes(size).c_str());
     for (uint32_t nodes : {1u, 2u, 4u}) {
-      std::printf(" %12.6f", run_once(size, nodes));
+      std::printf(" %12.6f", run_once(size, nodes, json));
       std::fflush(stdout);
     }
     std::printf("\n");
   }
   std::printf("\nshape checks: linear growth with size; per-node coordination overhead\n"
               "adds a size-independent term that grows with the node count.\n");
-  return 0;
+  return json.write("fig3_native_checkpoint") ? 0 : 1;
 }

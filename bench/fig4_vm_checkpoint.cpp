@@ -16,7 +16,8 @@ using namespace starfish;
 
 namespace {
 
-double run_once(uint64_t file_bytes, uint32_t nodes) {
+double run_once(uint64_t file_bytes, uint32_t nodes, benchutil::JsonReporter& json) {
+  benchutil::HostTimer timer;
   core::ClusterOptions opts;
   opts.nodes = nodes;
   core::Cluster cluster(opts);
@@ -33,12 +34,19 @@ double run_once(uint64_t file_bytes, uint32_t nodes) {
   job.protocol = daemon::CrProtocol::kStopAndSync;
   job.level = daemon::CkptLevel::kVm;
   cluster.submit(job);
-  return benchutil::measure_epoch_seconds(cluster, "fig4");
+  const double secs = benchutil::measure_epoch_seconds(cluster, "fig4");
+  if (json.enabled()) {
+    json.add({"fig4/bytes=" + std::to_string(file_bytes) + "/nodes=" + std::to_string(nodes),
+              timer.ns(), static_cast<uint64_t>(cluster.engine().now()),
+              cluster.engine().events_executed(), secs});
+  }
+  return secs;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  benchutil::JsonReporter json(argc, argv);
   benchutil::header(
       "Figure 4: VM-level (heterogeneous) checkpoint time vs data size, stop-and-sync");
   std::printf("paper anchors: 260 KB -> 0.0077 s (1 node), 0.0205 s (2), 0.052 s (4);\n"
@@ -51,7 +59,7 @@ int main() {
   for (uint64_t size : sizes) {
     std::printf("%12s", util::format_bytes(size).c_str());
     for (uint32_t nodes : {1u, 2u, 4u}) {
-      std::printf(" %12.6f", run_once(size, nodes));
+      std::printf(" %12.6f", run_once(size, nodes, json));
       std::fflush(stdout);
     }
     std::printf("\n");
@@ -59,5 +67,5 @@ int main() {
   std::printf("\nshape checks: much smaller base than Figure 3 (no run-time image is\n"
               "saved) and a steeper relative impact of multi-node coordination at\n"
               "small sizes, exactly as in the paper.\n");
-  return 0;
+  return json.write("fig4_vm_checkpoint") ? 0 : 1;
 }

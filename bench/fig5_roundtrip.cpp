@@ -15,7 +15,9 @@ using namespace starfish;
 
 namespace {
 
-double measure_rtt_us(net::TransportKind kind, size_t bytes, int reps) {
+double measure_rtt_us(net::TransportKind kind, size_t bytes, int reps,
+                      benchutil::JsonReporter& json) {
+  benchutil::HostTimer timer;
   sim::Engine eng;
   net::Network net(eng);
   auto h0 = net.add_host("a");
@@ -41,23 +43,30 @@ double measure_rtt_us(net::TransportKind kind, size_t bytes, int reps) {
     }
   });
   eng.run();
-  return sim::to_micros(total) / reps;
+  const double rtt_us = sim::to_micros(total) / reps;
+  if (json.enabled()) {
+    const char* transport = kind == net::TransportKind::kTcpIp ? "tcp" : "bip";
+    json.add({"fig5/" + std::string(transport) + "/bytes=" + std::to_string(bytes), timer.ns(),
+              static_cast<uint64_t>(eng.now()), eng.events_executed(), rtt_us});
+  }
+  return rtt_us;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  benchutil::JsonReporter json(argc, argv);
   benchutil::header("Figure 5: round-trip delay vs data size (ping, 100 repetitions)");
   std::printf("paper anchors: 1 byte -> 552 us over TCP/IP, 86 us over BIP/Myrinet;\n"
               "both curves grow linearly with message size\n\n");
   const std::vector<size_t> sizes = {1, 64, 256, 1024, 4096, 16384, 65536};
   std::printf("%10s %16s %16s %10s\n", "bytes", "TCP/IP [us]", "BIP/Myrinet [us]", "ratio");
   for (size_t s : sizes) {
-    const double tcp = measure_rtt_us(net::TransportKind::kTcpIp, s, 100);
-    const double bip = measure_rtt_us(net::TransportKind::kBipMyrinet, s, 100);
+    const double tcp = measure_rtt_us(net::TransportKind::kTcpIp, s, 100, json);
+    const double bip = measure_rtt_us(net::TransportKind::kBipMyrinet, s, 100, json);
     std::printf("%10zu %16.1f %16.1f %9.1fx\n", s, tcp, bip, tcp / bip);
   }
   std::printf("\nshape checks: BIP wins everywhere; the gap is largest for small\n"
               "messages (no kernel crossing) and both curves are affine in size.\n");
-  return 0;
+  return json.write("fig5_roundtrip") ? 0 : 1;
 }

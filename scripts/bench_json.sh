@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Machine-readable benchmark runner: builds a Release tree and writes
+# BENCH_PR1.json at the repo root, combining
+#   - google-benchmark's native JSON for the host micro benches, and
+#   - the --json runner mode of fig3/fig4/fig5 (host wall-clock, simulated
+#     ns and simulator events/sec per run).
+# The figures' human-readable stdout is unchanged and discarded here.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=build-bench
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD" -j --target \
+  micro_benchmarks fig3_native_checkpoint fig4_vm_checkpoint fig5_roundtrip >/dev/null
+
+out=$(mktemp -d)
+trap 'rm -rf "$out"' EXIT
+
+"$BUILD"/bench/micro_benchmarks --benchmark_format=json >"$out/micro.json"
+"$BUILD"/bench/fig3_native_checkpoint --json "$out/fig3.json" >/dev/null
+"$BUILD"/bench/fig4_vm_checkpoint --json "$out/fig4.json" >/dev/null
+"$BUILD"/bench/fig5_roundtrip --json "$out/fig5.json" >/dev/null
+
+python3 - "$out" <<'EOF'
+import json, os, sys
+
+d = sys.argv[1]
+merged = {
+    "schema": "starfish-bench-v1",
+    "figures": [json.load(open(os.path.join(d, f)))
+                for f in ("fig3.json", "fig4.json", "fig5.json")],
+    "micro": json.load(open(os.path.join(d, "micro.json"))),
+}
+with open("BENCH_PR1.json", "w") as f:
+    json.dump(merged, f, indent=1)
+    f.write("\n")
+print("wrote BENCH_PR1.json")
+EOF

@@ -5,9 +5,18 @@
 // periodic full image. Restores resolve the chain: full image + deltas in
 // epoch order. Checkpoint garbage collection must keep everything back to
 // the most recent full image (the CrModule handles that).
+//
+// Change detection is hash-based: the encoder keeps a per-page 64-bit
+// fingerprint of the previous epoch's state (PageHashCache, owned by the
+// CrModule and carried between epochs). With a warm cache an unchanged page
+// costs one hash of the current page plus one integer compare — the
+// previous state is never re-read — instead of the naive two full memcmp
+// passes. The encoder is single-pass: the changed-page count is patched
+// into the header after the scan rather than recomputed by a second sweep.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "util/buffer.hpp"
 #include "util/result.hpp"
@@ -19,13 +28,49 @@ constexpr size_t kPageBytes = 4096;
 /// "base" cost replacing the full run-time dump.
 constexpr uint64_t kIncrementalBaseBytes = 64ull * 1024;
 
-/// Encodes the pages of `cur` that differ from `prev` (or lie beyond its
-/// end). Optionally reports how many pages changed.
-util::Bytes incremental_encode(const util::Bytes& prev, const util::Bytes& cur,
-                               uint64_t* changed_pages = nullptr);
+/// Upper bound incremental_apply accepts for a delta's announced state size
+/// unless the caller passes a tighter one: a corrupt or hostile delta must
+/// not drive a multi-gigabyte allocation before any other validation runs.
+constexpr uint64_t kMaxIncrementalStateBytes = 8ull * 1024 * 1024 * 1024;
 
-/// Reconstructs the full state from `base` plus one delta.
-util::Result<util::Bytes> incremental_apply(const util::Bytes& base,
-                                            const util::Bytes& delta);
+/// 64-bit per-page fingerprint (XXH64-shaped, four pipelined lanes). Collisions
+/// would silently drop a changed page, so the mixing must be strong; at
+/// 64 bits the chance over any realistic checkpoint stream is negligible —
+/// the same trade libckpt-style dirty-page hashing makes.
+uint64_t page_fingerprint(util::BytesView page);
+
+/// Per-page fingerprints of one epoch's state, carried between epochs by
+/// the owner (CrModule). `valid` is false after a restore or protocol
+/// change; the next encode then falls back to single-memcmp detection and
+/// re-warms the cache in the same pass.
+struct PageHashCache {
+  std::vector<uint64_t> hashes;  ///< hashes[p] fingerprints page p
+  uint64_t state_len = 0;        ///< length of the state the hashes describe
+  bool valid = false;
+
+  /// Recomputes the fingerprints so the cache describes `state`. Used after
+  /// full epochs and restores, where no incremental_encode pass runs to warm
+  /// the cache as a side effect.
+  void rebuild(util::BytesView state);
+};
+
+/// Encodes the pages of `cur` that differ from `prev` (or lie beyond its
+/// end) in one pass over `cur`. With a warm `cache` (describing `prev`),
+/// unchanged pages are detected by fingerprint compare and `prev` is not
+/// read at all; cold or absent caches fall back to one memcmp per page.
+/// On return the cache describes `cur`, warm for the next epoch.
+/// Optionally reports how many pages changed.
+util::Bytes incremental_encode(const util::Bytes& prev, const util::Bytes& cur,
+                               uint64_t* changed_pages = nullptr,
+                               PageHashCache* cache = nullptr);
+
+/// Reconstructs the full state from `base` plus one delta. Rejects deltas
+/// whose announced size exceeds `max_state_bytes`, whose page indices are
+/// duplicated or out of range, or whose page data does not fit the
+/// announced state — a corrupt chain surfaces as a decode error, never as
+/// a huge allocation or out-of-bounds write.
+util::Result<util::Bytes> incremental_apply(
+    const util::Bytes& base, const util::Bytes& delta,
+    uint64_t max_state_bytes = kMaxIncrementalStateBytes);
 
 }  // namespace starfish::ckpt

@@ -38,8 +38,8 @@ util::Bytes encode_epoch(uint64_t epoch) {
   return b;
 }
 
-uint64_t decode_epoch(const util::Bytes& b) {
-  util::Reader r(util::as_bytes_view(b));
+uint64_t decode_epoch(util::BytesView b) {
+  util::Reader r(b);
   return r.u64().value_or(0);
 }
 
@@ -350,11 +350,16 @@ void CrModule::store_image(uint64_t epoch, util::Bytes app_state, util::Bytes ch
   c.channel_state = std::move(channel_state);
   c.recorded = recorded;
   if (process_.job().incremental_ckpt && have_prev_ && !is_full_epoch(epoch)) {
-    c.app_state = ckpt::incremental_encode(prev_app_state_, app_state);
+    // Warm cache: one fingerprint pass over app_state, prev_app_state_ is
+    // not read; the pass leaves the cache describing app_state.
+    c.app_state = ckpt::incremental_encode(prev_app_state_, app_state, nullptr, &page_cache_);
     img.incremental = true;
     img.base_epoch = prev_epoch_;
   } else {
     c.app_state = app_state;
+    // Full epoch: no encode pass ran, so warm the cache here — otherwise the
+    // next delta epoch would fall back to the memcmp path.
+    if (process_.job().incremental_ckpt) page_cache_.rebuild(app_state);
   }
   if (process_.job().incremental_ckpt) {
     prev_app_state_ = std::move(app_state);
@@ -429,6 +434,7 @@ util::Result<RestoredState> CrModule::restore(uint64_t epoch) {
   // restored state.
   if (process_.job().incremental_ckpt) {
     prev_app_state_ = c.app_state;
+    page_cache_.rebuild(prev_app_state_);
     prev_epoch_ = epoch;
     have_prev_ = true;
   }

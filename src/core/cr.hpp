@@ -112,8 +112,10 @@ class CrModule {
   std::set<uint32_t> cl_markers_from_;
   std::vector<mpi::Envelope> cl_recorded_;
 
-  // Incremental checkpointing state (previous epoch's resolved app state).
+  // Incremental checkpointing state (previous epoch's resolved app state,
+  // plus its per-page fingerprints so delta epochs never re-read it).
   util::Bytes prev_app_state_;
+  ckpt::PageHashCache page_cache_;
   uint64_t prev_epoch_ = 0;
   bool have_prev_ = false;
 

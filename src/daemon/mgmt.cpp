@@ -18,7 +18,7 @@ util::Bytes line_bytes(const std::string& s) {
                      reinterpret_cast<const std::byte*>(s.data() + s.size()));
 }
 
-std::string line_text(const util::Bytes& b) {
+std::string line_text(util::BytesView b) {
   return std::string(reinterpret_cast<const char*>(b.data()), b.size());
 }
 

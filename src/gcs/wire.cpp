@@ -97,8 +97,8 @@ util::Bytes WireMsg::encode() const {
   return out;
 }
 
-util::Result<WireMsg> WireMsg::decode(const util::Bytes& bytes) {
-  util::Reader r(util::as_bytes_view(bytes));
+util::Result<WireMsg> WireMsg::decode(util::BytesView bytes) {
+  util::Reader r(bytes);
   WireMsg m;
   auto kind = r.u8();
   if (!kind) return kind.error();

@@ -63,7 +63,10 @@ struct WireMsg {
   util::Bytes state;
 
   util::Bytes encode() const;
-  static util::Result<WireMsg> decode(const util::Bytes& bytes);
+  /// Accepts any byte window (util::Bytes and util::SharedBytes both convert
+  /// implicitly); decoded fields are owned copies — control traffic is off
+  /// the zero-copy fast path by design.
+  static util::Result<WireMsg> decode(util::BytesView bytes);
 };
 
 }  // namespace starfish::gcs

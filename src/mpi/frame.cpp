@@ -2,9 +2,16 @@
 
 namespace starfish::mpi {
 
-util::Bytes Frame::encode() const {
+namespace {
+/// Fixed bytes of the wire header: kind(1) + comm/src/dst/tag(4 each) +
+/// seq(8) + interval(4) + total(8) + payload length prefix(4).
+constexpr size_t kHeaderBytes = 1 + 4 * 4 + 8 + 4 + 8;
+}  // namespace
+
+util::SharedBytes Frame::encode() const {
   util::Bytes out;
   util::Writer w(out);
+  w.reserve(kHeaderBytes + payload.size());
   w.u8(static_cast<uint8_t>(kind));
   w.u32(comm);
   w.u32(src_rank);
@@ -13,12 +20,12 @@ util::Bytes Frame::encode() const {
   w.u64(seq);
   w.u32(send_interval);
   w.u64(total_bytes);
-  w.bytes(util::as_bytes_view(payload));
+  w.bytes(payload.view());
   return out;
 }
 
-util::Result<Frame> Frame::decode(const util::Bytes& bytes) {
-  util::Reader r(util::as_bytes_view(bytes));
+util::Result<Frame> Frame::decode(const util::SharedBytes& bytes) {
+  util::Reader r(bytes.view());
   Frame f;
   auto kind = r.u8();
   if (!kind) return kind.error();
@@ -44,9 +51,11 @@ util::Result<Frame> Frame::decode(const util::Bytes& bytes) {
   auto total = r.u64();
   if (!total) return total.error();
   f.total_bytes = total.value();
-  auto payload = r.bytes();
+  // The payload aliases the wire buffer instead of being copied out; the
+  // length-prefixed view() advances the reader and bounds-checks for us.
+  auto payload = r.view();
   if (!payload) return payload.error();
-  f.payload = std::move(payload).take();
+  f.payload = bytes.slice(r.position() - payload.value().size(), payload.value().size());
   return f;
 }
 

@@ -31,10 +31,15 @@ struct Frame {
   uint64_t seq = 0;           ///< per (src,dst) channel sequence / rendezvous id
   uint32_t send_interval = 0; ///< sender's checkpoint interval (uncoordinated C/R)
   uint64_t total_bytes = 0;   ///< kRendezvousRts: announced payload size
-  util::Bytes payload;
+  /// Immutable refcounted body: moving a frame between layers, recording it
+  /// for Chandy–Lamport, or parking it in the unexpected queue never copies.
+  util::SharedBytes payload;
 
-  util::Bytes encode() const;
-  static util::Result<Frame> decode(const util::Bytes& bytes);
+  /// Gathers header + payload into one wire buffer — the single allocation
+  /// a message body pays on the send side.
+  util::SharedBytes encode() const;
+  /// Zero-copy: the decoded frame's payload aliases `bytes`' allocation.
+  static util::Result<Frame> decode(const util::SharedBytes& bytes);
 };
 
 }  // namespace starfish::mpi

@@ -221,7 +221,9 @@ util::Bytes Proc::deliver(Envelope env, RecvStatus* status) {
     status->tag = env.tag;
     status->bytes = env.data.size();
   }
-  return std::move(env.data);
+  // The app boundary: the shared (usually wire-aliasing) buffer becomes an
+  // owned mutable one — the single receive-side copy of the data path.
+  return std::move(env.data).to_bytes();
 }
 
 // --------------------------------------------------------------- sends ----
@@ -487,14 +489,15 @@ void Proc::thaw() {
   completion_cv_.notify_all();
 }
 
-void Proc::send_marker(FrameKind kind, uint32_t comm, util::Bytes payload) {
+void Proc::send_marker(FrameKind kind, uint32_t comm, util::SharedBytes payload) {
   for (uint32_t dst = 0; dst < peers_.size(); ++dst) {
     if (dst == rank_) continue;
-    send_marker_to(dst, kind, comm, payload);
+    send_marker_to(dst, kind, comm, payload);  // refcount bump, no copy
   }
 }
 
-void Proc::send_marker_to(uint32_t dst, FrameKind kind, uint32_t comm, util::Bytes payload) {
+void Proc::send_marker_to(uint32_t dst, FrameKind kind, uint32_t comm,
+                          util::SharedBytes payload) {
   Frame frame;
   frame.kind = kind;
   frame.comm = comm;

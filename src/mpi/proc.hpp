@@ -40,7 +40,9 @@ struct Envelope {
   uint32_t src = 0;
   int32_t tag = 0;
   uint32_t send_interval = 0;
-  util::Bytes data;
+  /// Shared with the wire buffer it arrived in (zero-copy); materialized
+  /// into an owned util::Bytes only at application delivery.
+  util::SharedBytes data;
   // Rendezvous bookkeeping while the payload has not arrived yet.
   bool is_rts = false;
   uint64_t rdv_seq = 0;
@@ -130,10 +132,12 @@ class Proc {
   /// have landed). Used before capturing channel state.
   void wait_rendezvous_drained();
 
-  /// Sends a control marker to every other rank (bypasses freeze).
-  void send_marker(FrameKind kind, uint32_t comm, util::Bytes payload = {});
+  /// Sends a control marker to every other rank (bypasses freeze). The
+  /// payload buffer is shared across all per-peer frames, not re-copied.
+  void send_marker(FrameKind kind, uint32_t comm, util::SharedBytes payload = {});
   /// Sends a control marker to one rank.
-  void send_marker_to(uint32_t dst, FrameKind kind, uint32_t comm, util::Bytes payload = {});
+  void send_marker_to(uint32_t dst, FrameKind kind, uint32_t comm,
+                      util::SharedBytes payload = {});
 
   util::Bytes capture_channel_state() const;
   /// Replays a saved channel state plus recorded in-transit messages

@@ -77,11 +77,11 @@ DatagramEndpoint::DatagramEndpoint(Network& net, NetAddr addr, TransportKind kin
 
 DatagramEndpoint::~DatagramEndpoint() { close(); }
 
-bool DatagramEndpoint::send(NetAddr dst, util::Bytes payload) {
+bool DatagramEndpoint::send(NetAddr dst, util::SharedBytes payload) {
   return send_raw(dst, std::move(payload));
 }
 
-bool DatagramEndpoint::send_raw(NetAddr dst, util::Bytes payload) {
+bool DatagramEndpoint::send_raw(NetAddr dst, util::SharedBytes payload) {
   if (inbox_.closed() || !net_.host_alive(addr_.host)) return false;
   net_.transmit(kind_, Packet{addr_, dst, std::move(payload)});
   return true;
@@ -98,10 +98,12 @@ void DatagramEndpoint::close() {
 
 struct Connection::State {
   State(sim::Engine& eng, TransportKind k, sim::HostId h0, sim::HostId h1)
-      : kind(k), hosts{h0, h1}, inbox{sim::Channel<util::Bytes>(eng), sim::Channel<util::Bytes>(eng)} {}
+      : kind(k),
+        hosts{h0, h1},
+        inbox{sim::Channel<util::SharedBytes>(eng), sim::Channel<util::SharedBytes>(eng)} {}
   TransportKind kind;
   sim::HostId hosts[2];
-  sim::Channel<util::Bytes> inbox[2];  // inbox[s] is read by side s
+  sim::Channel<util::SharedBytes> inbox[2];  // inbox[s] is read by side s
   sim::Time last_arrival[2] = {0, 0};  // latest scheduled delivery per inbox
   bool closed = false;   // graceful shutdown: no new sends, in-flight drains
   bool crashed = false;  // host failure: in-flight is lost
@@ -111,7 +113,7 @@ Connection::Connection(Network& net, std::shared_ptr<State> state, sim::HostId l
                        sim::HostId remote, int side)
     : net_(net), state_(std::move(state)), local_(local), remote_(remote), side_(side) {}
 
-bool Connection::send(util::Bytes payload) {
+bool Connection::send(util::SharedBytes payload) {
   State& st = *state_;
   if (st.closed || st.crashed || !net_.host_alive(local_)) return false;
   const TransportModel& model = model_for(st.kind);
@@ -130,11 +132,13 @@ bool Connection::send(util::Bytes payload) {
   return true;
 }
 
-sim::RecvResult<util::Bytes> Connection::recv(sim::Time deadline) {
+sim::RecvResult<util::SharedBytes> Connection::recv(sim::Time deadline) {
   return state_->inbox[side_].recv(deadline);
 }
 
-std::optional<util::Bytes> Connection::try_recv() { return state_->inbox[side_].try_recv(); }
+std::optional<util::SharedBytes> Connection::try_recv() {
+  return state_->inbox[side_].try_recv();
+}
 
 void Connection::close() {
   State& st = *state_;

@@ -37,7 +37,9 @@ struct NetAddr {
 struct Packet {
   NetAddr src;
   NetAddr dst;
-  util::Bytes payload;
+  /// Refcounted and immutable: forwarding, queueing and decoding a packet
+  /// never duplicates the body (the zero-copy data path).
+  util::SharedBytes payload;
 };
 
 class Network;
@@ -54,10 +56,10 @@ class DatagramEndpoint {
 
   /// Fire-and-forget; charges vni/kernel send CPU to the caller and puts the
   /// payload on the wire. Returns false if the local host is dead.
-  bool send(NetAddr dst, util::Bytes payload);
+  bool send(NetAddr dst, util::SharedBytes payload);
   /// Raw enqueue-on-wire without charging send-side CPU (used by layers that
   /// charge their own costs, e.g. the VNI instrumentation path).
-  bool send_raw(NetAddr dst, util::Bytes payload);
+  bool send_raw(NetAddr dst, util::SharedBytes payload);
 
   sim::RecvResult<Packet> recv(sim::Time deadline = -1) { return inbox_.recv(deadline); }
   std::optional<Packet> try_recv() { return inbox_.try_recv(); }
@@ -81,10 +83,10 @@ using DatagramEndpointPtr = std::shared_ptr<DatagramEndpoint>;
 class Connection {
  public:
   /// Sends one framed message; returns false if the connection is broken.
-  bool send(util::Bytes payload);
+  bool send(util::SharedBytes payload);
   /// Blocks for the next message; kClosed once broken/closed and drained.
-  sim::RecvResult<util::Bytes> recv(sim::Time deadline = -1);
-  std::optional<util::Bytes> try_recv();
+  sim::RecvResult<util::SharedBytes> recv(sim::Time deadline = -1);
+  std::optional<util::SharedBytes> try_recv();
   /// Graceful close: peer recv drains then reports kClosed.
   void close();
   bool broken() const;

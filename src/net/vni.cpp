@@ -33,7 +33,7 @@ Vni::Vni(Network& net, sim::Host& host, TransportKind kind, bool polling)
 
 Vni::~Vni() { shutdown(); }
 
-bool Vni::send(NetAddr dst, util::Bytes frame) {
+bool Vni::send(NetAddr dst, util::SharedBytes frame) {
   const bool ok = endpoint_->send_raw(dst, std::move(frame));
   if (ok) ++frames_sent_;
   return ok;

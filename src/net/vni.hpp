@@ -32,8 +32,9 @@ class Vni {
   const TransportModel& model() const { return model_for(kind_); }
   bool polling() const { return polling_; }
 
-  /// Puts one frame on the wire. Zero-copy: cost is size-independent.
-  bool send(NetAddr dst, util::Bytes frame);
+  /// Puts one frame on the wire. Zero-copy: cost is size-independent and the
+  /// buffer is handed down by reference count, never duplicated.
+  bool send(NetAddr dst, util::SharedBytes frame);
 
   /// Next frame for this process (from the receive queue when polling,
   /// straight from the wire otherwise).

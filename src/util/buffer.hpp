@@ -11,9 +11,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "util/result.hpp"
@@ -30,7 +32,87 @@ constexpr Endian native_endian() {
 
 using Bytes = std::vector<std::byte>;
 
-inline std::span<const std::byte> as_bytes_view(const Bytes& b) { return {b.data(), b.size()}; }
+/// Non-owning read-only window into a byte buffer.
+using BytesView = std::span<const std::byte>;
+
+inline BytesView as_bytes_view(const Bytes& b) { return {b.data(), b.size()}; }
+
+/// Immutable, cheaply-copyable, refcounted payload buffer.
+///
+/// The zero-copy data path hands one SharedBytes from the sender's frame
+/// encoder through Packet, the VNI and the receive queues without ever
+/// duplicating the body; `slice` lets a decoder alias a sub-range (e.g. the
+/// payload inside a frame) of the same allocation. Immutability is what
+/// makes the sharing safe: no layer may mutate a buffer another layer still
+/// references, so simulation replay stays deterministic (see DESIGN.md
+/// "Payload ownership").
+class SharedBytes {
+ public:
+  SharedBytes() = default;
+  /// Adopts an owned buffer without copying. Intentionally implicit so call
+  /// sites handing off an rvalue `Bytes` (encoder output, moved-from app
+  /// data) keep reading naturally.
+  SharedBytes(Bytes&& b)  // NOLINT(google-explicit-constructor)
+      : owner_(std::make_shared<Bytes>(std::move(b))), len_(owner_->size()) {}
+
+  /// Deep-copies a view into a fresh buffer (the only copying entry point).
+  static SharedBytes copy(BytesView v) { return SharedBytes(Bytes(v.begin(), v.end())); }
+
+  BytesView view() const {
+    return owner_ ? BytesView{owner_->data() + offset_, len_} : BytesView{};
+  }
+  operator BytesView() const { return view(); }  // NOLINT(google-explicit-constructor)
+
+  const std::byte* data() const { return owner_ ? owner_->data() + offset_ : nullptr; }
+  size_t size() const { return len_; }
+  bool empty() const { return len_ == 0; }
+  std::byte operator[](size_t i) const { return (*owner_)[offset_ + i]; }
+
+  /// Zero-copy sub-range sharing (and keeping alive) the same allocation.
+  /// Clamped to the buffer bounds.
+  SharedBytes slice(size_t off, size_t n) const {
+    SharedBytes s;
+    if (off > len_) off = len_;
+    if (n > len_ - off) n = len_ - off;
+    s.owner_ = owner_;
+    s.offset_ = offset_ + off;
+    s.len_ = n;
+    return s;
+  }
+
+  /// Materializes an owned mutable copy. The rvalue overload steals the
+  /// underlying vector when this handle is the sole owner of the whole
+  /// buffer (the common case at final delivery of an unsliced payload).
+  Bytes to_bytes() const& {
+    auto v = view();
+    return Bytes(v.begin(), v.end());
+  }
+  Bytes to_bytes() && {
+    if (owner_ && owner_.use_count() == 1 && offset_ == 0 && len_ == owner_->size()) {
+      Bytes out = std::move(*owner_);
+      owner_.reset();
+      len_ = 0;
+      return out;
+    }
+    auto v = view();
+    return Bytes(v.begin(), v.end());
+  }
+
+  friend bool operator==(const SharedBytes& a, const SharedBytes& b) {
+    auto va = a.view(), vb = b.view();
+    return va.size() == vb.size() &&
+           (va.empty() || std::memcmp(va.data(), vb.data(), va.size()) == 0);
+  }
+
+ private:
+  /// Held non-const for the unique-owner move-out in to_bytes()&&; no
+  /// mutating access is ever exposed.
+  std::shared_ptr<Bytes> owner_;
+  size_t offset_ = 0;
+  size_t len_ = 0;
+};
+
+inline BytesView as_bytes_view(const SharedBytes& b) { return b.view(); }
 
 /// Appends fixed-width integers/floats/strings to a byte vector in a chosen
 /// endianness. Cheap value type; owns nothing but a reference to the target.
@@ -40,6 +122,11 @@ class Writer {
 
   Endian endian() const { return endian_; }
   size_t size() const { return out_.size(); }
+
+  /// Pre-sizes the target for `n` further bytes of appends. Encoders that
+  /// know their message size up front should call this once instead of
+  /// letting the vector grow geometrically under per-field appends.
+  void reserve(size_t n) { out_.reserve(out_.size() + n); }
 
   void u8(uint8_t v) { out_.push_back(std::byte{v}); }
   void u16(uint16_t v) { put_int(v); }
@@ -56,6 +143,7 @@ class Writer {
 
   /// Length-prefixed (u32) byte string.
   void bytes(std::span<const std::byte> data) {
+    reserve(sizeof(uint32_t) + data.size());
     u32(static_cast<uint32_t>(data.size()));
     raw(data);
   }
@@ -63,18 +151,29 @@ class Writer {
     bytes(std::as_bytes(std::span<const char>(s.data(), s.size())));
   }
   /// Raw append without a length prefix.
-  void raw(std::span<const std::byte> data) { out_.insert(out_.end(), data.begin(), data.end()); }
+  void raw(std::span<const std::byte> data) {
+    const size_t at = out_.size();
+    out_.resize(at + data.size());
+    if (!data.empty()) std::memcpy(out_.data() + at, data.data(), data.size());
+  }
 
  private:
   template <typename U>
   void put_int(U v) {
-    std::byte tmp[sizeof(U)];
+    // One resize + direct stores (no per-integer insert churn); the
+    // little-endian/native case collapses to a plain memcpy.
+    const size_t at = out_.size();
+    out_.resize(at + sizeof(U));
+    std::byte* dst = out_.data() + at;
+    if (endian_ == native_endian()) {
+      std::memcpy(dst, &v, sizeof(U));
+      return;
+    }
     for (size_t i = 0; i < sizeof(U); ++i) {
       const unsigned shift =
           endian_ == Endian::kLittle ? 8 * i : 8 * (sizeof(U) - 1 - i);
-      tmp[i] = static_cast<std::byte>((v >> shift) & 0xff);
+      dst[i] = static_cast<std::byte>((v >> shift) & 0xff);
     }
-    out_.insert(out_.end(), tmp, tmp + sizeof(U));
   }
 
   Bytes& out_;
@@ -126,24 +225,41 @@ class Reader {
   }
 
   Result<Bytes> bytes() {
+    auto v = view();
+    if (!v) return v.error();
+    return Bytes(v.value().begin(), v.value().end());
+  }
+  /// Zero-copy variant of bytes(): a length-prefixed window into the source
+  /// span. Valid only while the underlying buffer is alive and unmodified.
+  Result<BytesView> view() {
     auto len = u32();
     if (!len) return len.error();
     if (remaining() < len.value()) return short_read("bytes");
-    Bytes out(data_.begin() + static_cast<ptrdiff_t>(pos_),
-              data_.begin() + static_cast<ptrdiff_t>(pos_ + len.value()));
+    BytesView out = data_.subspan(pos_, len.value());
     pos_ += len.value();
     return out;
   }
   Result<std::string> str() {
-    auto b = bytes();
-    if (!b) return b.error();
-    return std::string(reinterpret_cast<const char*>(b.value().data()), b.value().size());
+    auto v = str_view();
+    if (!v) return v.error();
+    return std::string(v.value());
+  }
+  /// Zero-copy variant of str(); same lifetime caveat as view().
+  Result<std::string_view> str_view() {
+    auto v = view();
+    if (!v) return v.error();
+    return std::string_view(reinterpret_cast<const char*>(v.value().data()), v.value().size());
   }
   /// Reads exactly n raw bytes (no length prefix).
   Result<Bytes> raw(size_t n) {
+    auto v = raw_view(n);
+    if (!v) return v.error();
+    return Bytes(v.value().begin(), v.value().end());
+  }
+  /// Zero-copy variant of raw(); same lifetime caveat as view().
+  Result<BytesView> raw_view(size_t n) {
     if (remaining() < n) return short_read("raw");
-    Bytes out(data_.begin() + static_cast<ptrdiff_t>(pos_),
-              data_.begin() + static_cast<ptrdiff_t>(pos_ + n));
+    BytesView out = data_.subspan(pos_, n);
     pos_ += n;
     return out;
   }

@@ -152,7 +152,11 @@ std::string disassemble(const Program& program) {
     out += "func " + fn.name + " " + std::to_string(fn.n_args) + " " +
            std::to_string(fn.n_locals) + "\n";
     for (size_t pc = 0; pc < fn.code.size(); ++pc) {
-      if (targets.contains(pc)) out += "L" + std::to_string(pc) + ":\n";
+      if (targets.contains(pc)) {
+        out += "L";
+        out += std::to_string(pc);
+        out += ":\n";
+      }
       const Instr& in = fn.code[pc];
       out += "  ";
       out += mnemonic(in.op);
@@ -163,17 +167,21 @@ std::string disassemble(const Program& program) {
         case Op::kStoreLocal:
         case Op::kLoadGlobal:
         case Op::kStoreGlobal:
-          out += " " + std::to_string(in.imm_i);
+          out += " ";
+          out += std::to_string(in.imm_i);
           break;
         case Op::kPushFloat:
-          out += " " + std::to_string(in.imm_f);
+          out += " ";
+          out += std::to_string(in.imm_f);
           break;
         case Op::kJmp:
         case Op::kJmpIfFalse:
-          out += " L" + std::to_string(in.imm_i);
+          out += " L";
+          out += std::to_string(in.imm_i);
           break;
         case Op::kCall:
-          out += " " + program.functions[static_cast<size_t>(in.imm_i)].name;
+          out += " ";
+          out += program.functions[static_cast<size_t>(in.imm_i)].name;
           break;
         case Op::kSyscall:
           out += std::string(" ") + syscall_name(static_cast<Syscall>(in.imm_i));
@@ -183,7 +191,11 @@ std::string disassemble(const Program& program) {
       }
       out += "\n";
     }
-    if (targets.contains(fn.code.size())) out += "L" + std::to_string(fn.code.size()) + ":\n";
+    if (targets.contains(fn.code.size())) {
+      out += "L";
+      out += std::to_string(fn.code.size());
+      out += ":\n";
+    }
   }
   return out;
 }

@@ -385,6 +385,65 @@ TEST(Incremental, CorruptDeltaFailsGracefully) {
   EXPECT_FALSE(incremental_apply(prev, delta).ok());
 }
 
+// Hostile-delta hardening: a corrupt chain must surface as a decode error
+// before it can drive a huge allocation or an out-of-bounds write.
+
+TEST(Incremental, ApplyRejectsOversizedTotalBeforeAllocating) {
+  util::Bytes delta;
+  util::Writer w(delta);
+  w.u64(kMaxIncrementalStateBytes + 1);
+  w.u32(0);
+  EXPECT_FALSE(incremental_apply({}, delta).ok());
+  // A caller-supplied tighter bound also rejects.
+  util::Bytes small;
+  util::Writer w2(small);
+  w2.u64(4 * kPageBytes);
+  w2.u32(0);
+  EXPECT_FALSE(incremental_apply({}, small, 2 * kPageBytes).ok());
+  EXPECT_TRUE(incremental_apply({}, small, 4 * kPageBytes).ok());
+}
+
+TEST(Incremental, ApplyRejectsMorePagesThanStateHolds) {
+  util::Bytes delta;
+  util::Writer w(delta);
+  w.u64(kPageBytes);  // one page of state...
+  w.u32(3);           // ...but three pages announced
+  EXPECT_FALSE(incremental_apply({}, delta).ok());
+}
+
+TEST(Incremental, ApplyRejectsOutOfRangePageIndex) {
+  util::Bytes delta;
+  util::Writer w(delta);
+  w.u64(kPageBytes);
+  w.u32(1);
+  w.u32(5);  // page 5 of a 1-page state
+  w.bytes(util::as_bytes_view(util::Bytes(kPageBytes, std::byte{9})));
+  EXPECT_FALSE(incremental_apply({}, delta).ok());
+}
+
+TEST(Incremental, ApplyRejectsDuplicatePage) {
+  const util::Bytes page(kPageBytes, std::byte{9});
+  util::Bytes delta;
+  util::Writer w(delta);
+  w.u64(2 * kPageBytes);
+  w.u32(2);
+  w.u32(0);
+  w.bytes(util::as_bytes_view(page));
+  w.u32(0);  // page 0 again
+  w.bytes(util::as_bytes_view(page));
+  EXPECT_FALSE(incremental_apply({}, delta).ok());
+}
+
+TEST(Incremental, ApplyRejectsWrongPageLength) {
+  util::Bytes delta;
+  util::Writer w(delta);
+  w.u64(2 * kPageBytes);
+  w.u32(1);
+  w.u32(0);
+  w.bytes(util::as_bytes_view(util::Bytes(7, std::byte{9})));  // not a full page
+  EXPECT_FALSE(incremental_apply({}, delta).ok());
+}
+
 // ----------------------------------------------------------- recovery ----
 
 TEST(Recovery, NoMessagesNoRollback) {

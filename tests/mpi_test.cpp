@@ -908,5 +908,57 @@ TEST(CrHooks, CrashMidTransferLosesMessageButNotSanity) {
   EXPECT_TRUE(receiver_done);
 }
 
+// ------------------------------------------- simulated-time invariance ----
+
+TEST(Determinism, PingRoundTripSimTimeMatchesGolden) {
+  // Pins the Figure 5 ping's total simulated time to constants captured
+  // from the original revision. Host-side optimizations (zero-copy payload
+  // plumbing, hashed checkpoint deltas) must never move simulated time: a
+  // failure here means a wire size, a charged cost or the event order
+  // changed, not that the code got slower or faster on the host.
+  struct Golden {
+    net::TransportKind kind;
+    size_t bytes;
+    sim::Duration total_ns;
+  };
+  const Golden golden[] = {
+      {net::TransportKind::kTcpIp, 1, 5596360},
+      {net::TransportKind::kTcpIp, 4096, 13041800},
+      {net::TransportKind::kTcpIp, 65536, 135939980},
+      {net::TransportKind::kBipMyrinet, 1, 874000},
+      {net::TransportKind::kBipMyrinet, 4096, 2239000},
+      {net::TransportKind::kBipMyrinet, 65536, 24466320},
+  };
+  for (const auto& g : golden) {
+    sim::Engine eng;
+    net::Network net(eng);
+    auto h0 = net.add_host("a");
+    auto h1 = net.add_host("b");
+    Proc p0(net, *h0, g.kind);
+    Proc p1(net, *h1, g.kind);
+    p0.configure_world(0, {p0.addr(), p1.addr()});
+    p1.configure_world(1, {p0.addr(), p1.addr()});
+    sim::Duration total = 0;
+    constexpr int kReps = 10;
+    h1->spawn("ponger", [&] {
+      for (int i = 0; i < kReps; ++i) {
+        auto msg = p1.recv(kWorldCommId, 0, 0);
+        p1.send(kWorldCommId, 0, 0, std::move(msg));
+      }
+    });
+    h0->spawn("pinger", [&] {
+      for (int i = 0; i < kReps; ++i) {
+        const sim::Time start = eng.now();
+        p0.send(kWorldCommId, 1, 0, util::Bytes(g.bytes, std::byte{0x5a}));
+        (void)p0.recv(kWorldCommId, 1, 0);
+        total += eng.now() - start;
+      }
+    });
+    eng.run();
+    EXPECT_EQ(total, g.total_ns)
+        << (g.kind == net::TransportKind::kTcpIp ? "tcp" : "bip") << " " << g.bytes << " bytes";
+  }
+}
+
 }  // namespace
 }  // namespace starfish::mpi

@@ -65,6 +65,58 @@ TEST_P(ChannelProperty, FifoUnderRandomInterleavings) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChannelProperty, ::testing::Values(1u, 7u, 42u, 1234u));
 
+// ------------------------------- ckpt: incremental delta round-trips ----
+
+class IncrementalProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IncrementalProperty, RandomEvolutionRoundTripsAndMatchesMemcmp) {
+  // A state evolves over many epochs — pages mutated, the blob grown and
+  // shrunk through partial tail pages, the hash cache occasionally thrown
+  // away. Invariants per epoch: the hash-cache encoder emits a
+  // byte-identical delta to the cacheless (memcmp) encoder, and applying
+  // the delta to the previous state reproduces the current one exactly.
+  util::Rng rng(GetParam());
+  util::Bytes state((1 + rng.below(4)) * ckpt::kPageBytes + rng.below(ckpt::kPageBytes));
+  for (auto& b : state) b = static_cast<std::byte>(rng.next());
+  ckpt::PageHashCache cache;
+  cache.rebuild(util::as_bytes_view(state));
+  for (int epoch = 0; epoch < 16; ++epoch) {
+    util::Bytes next = state;
+    switch (rng.below(4)) {
+      case 0:  // grow, usually into a partial tail page
+        next.resize(next.size() + 1 + rng.below(2 * ckpt::kPageBytes),
+                    static_cast<std::byte>(epoch));
+        break;
+      case 1: {  // shrink (possibly to empty)
+        const size_t cut = std::min<size_t>(next.size(), rng.below(2 * ckpt::kPageBytes));
+        next.resize(next.size() - cut);
+        break;
+      }
+      default:  // keep the size
+        break;
+    }
+    for (uint64_t m = rng.below(6); m > 0 && !next.empty(); --m) {
+      next[rng.below(next.size())] = static_cast<std::byte>(rng.next());
+    }
+    if (rng.chance(0.2)) cache.valid = false;  // exercise the cold-cache path
+
+    uint64_t changed_hashed = 0;
+    uint64_t changed_plain = 0;
+    auto delta_hashed = ckpt::incremental_encode(state, next, &changed_hashed, &cache);
+    auto delta_plain = ckpt::incremental_encode(state, next, &changed_plain, nullptr);
+    EXPECT_EQ(delta_hashed, delta_plain);
+    EXPECT_EQ(changed_hashed, changed_plain);
+
+    auto back = ckpt::incremental_apply(state, delta_hashed);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), next);
+    state = std::move(next);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalProperty,
+                         ::testing::Values(1u, 7u, 42u, 99u, 1234u, 777777u));
+
 // --------------------------------------------- gcs: total order sweeps ----
 
 class GcsProperty : public ::testing::TestWithParam<uint64_t> {};
