@@ -46,6 +46,7 @@ struct JsonRun {
   uint64_t sim_ns = 0;   ///< engine.now() when the run finished
   uint64_t events = 0;   ///< engine.events_executed() when the run finished
   double value = 0.0;    ///< the metric the text output reports (s or us)
+  uint64_t faults = 0;   ///< injected-fault events (chaos runs only)
 };
 
 class JsonReporter {
@@ -76,11 +77,17 @@ class JsonReporter {
       const double eps = host_s > 0 ? static_cast<double>(r.events) / host_s : 0.0;
       std::fprintf(f,
                    "%s\n  {\"name\": \"%s\", \"value\": %.9g, \"host_ns\": %llu, "
-                   "\"sim_ns\": %llu, \"events\": %llu, \"events_per_sec\": %.6g}",
+                   "\"sim_ns\": %llu, \"events\": %llu, \"events_per_sec\": %.6g",
                    i == 0 ? "" : ",", escape(r.name).c_str(), r.value,
                    static_cast<unsigned long long>(r.host_ns),
                    static_cast<unsigned long long>(r.sim_ns),
                    static_cast<unsigned long long>(r.events), eps);
+      // Key present only on chaos runs, so fault-free output stays
+      // byte-identical across the introduction of fault injection.
+      if (r.faults > 0) {
+        std::fprintf(f, ", \"faults\": %llu", static_cast<unsigned long long>(r.faults));
+      }
+      std::fprintf(f, "}");
     }
     std::fprintf(f, "\n]}\n");
     std::fclose(f);

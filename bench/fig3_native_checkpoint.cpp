@@ -46,7 +46,7 @@ double run_once(uint64_t file_bytes, uint32_t nodes, benchutil::JsonReporter& js
   if (json.enabled()) {
     json.add({"fig3/bytes=" + std::to_string(file_bytes) + "/nodes=" + std::to_string(nodes),
               timer.ns(), static_cast<uint64_t>(cluster.engine().now()),
-              cluster.engine().events_executed(), secs});
+              cluster.engine().events_executed(), secs, 0});
   }
   return secs;
 }

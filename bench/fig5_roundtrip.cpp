@@ -8,6 +8,9 @@
 #include <memory>
 #include <vector>
 
+#include <cstdlib>
+#include <optional>
+
 #include "bench_util.hpp"
 #include "mpi/proc.hpp"
 
@@ -16,10 +19,19 @@ using namespace starfish;
 namespace {
 
 double measure_rtt_us(net::TransportKind kind, size_t bytes, int reps,
-                      benchutil::JsonReporter& json) {
+                      benchutil::JsonReporter& json, std::optional<uint64_t> chaos_seed) {
   benchutil::HostTimer timer;
-  sim::Engine eng;
+  sim::Engine eng(chaos_seed.value_or(0));
   net::Network net(eng);
+  if (chaos_seed) {
+    // Latency chaos only: delay/jitter perturb the measured RTTs without
+    // dropping ping traffic (the bench has no retransmit layer). The seeded
+    // engine RNG makes every perturbed run replayable.
+    net::LinkFaults plan;
+    plan.delay = sim::microseconds(20);
+    plan.jitter = sim::microseconds(150);
+    net.faults().set_default(plan);
+  }
   auto h0 = net.add_host("a");
   auto h1 = net.add_host("b");
   mpi::Proc p0(net, *h0, kind);
@@ -47,7 +59,8 @@ double measure_rtt_us(net::TransportKind kind, size_t bytes, int reps,
   if (json.enabled()) {
     const char* transport = kind == net::TransportKind::kTcpIp ? "tcp" : "bip";
     json.add({"fig5/" + std::string(transport) + "/bytes=" + std::to_string(bytes), timer.ns(),
-              static_cast<uint64_t>(eng.now()), eng.events_executed(), rtt_us});
+              static_cast<uint64_t>(eng.now()), eng.events_executed(), rtt_us,
+              net.faults().counters().total()});
   }
   return rtt_us;
 }
@@ -56,14 +69,24 @@ double measure_rtt_us(net::TransportKind kind, size_t bytes, int reps,
 
 int main(int argc, char** argv) {
   benchutil::JsonReporter json(argc, argv);
+  std::optional<uint64_t> chaos_seed;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--chaos-seed") {
+      chaos_seed = std::strtoull(argv[i + 1], nullptr, 10);
+    }
+  }
   benchutil::header("Figure 5: round-trip delay vs data size (ping, 100 repetitions)");
+  if (chaos_seed) {
+    std::printf("chaos: link delay/jitter enabled, seed %llu\n",
+                static_cast<unsigned long long>(*chaos_seed));
+  }
   std::printf("paper anchors: 1 byte -> 552 us over TCP/IP, 86 us over BIP/Myrinet;\n"
               "both curves grow linearly with message size\n\n");
   const std::vector<size_t> sizes = {1, 64, 256, 1024, 4096, 16384, 65536};
   std::printf("%10s %16s %16s %10s\n", "bytes", "TCP/IP [us]", "BIP/Myrinet [us]", "ratio");
   for (size_t s : sizes) {
-    const double tcp = measure_rtt_us(net::TransportKind::kTcpIp, s, 100, json);
-    const double bip = measure_rtt_us(net::TransportKind::kBipMyrinet, s, 100, json);
+    const double tcp = measure_rtt_us(net::TransportKind::kTcpIp, s, 100, json, chaos_seed);
+    const double bip = measure_rtt_us(net::TransportKind::kBipMyrinet, s, 100, json, chaos_seed);
     std::printf("%10zu %16.1f %16.1f %9.1fx\n", s, tcp, bip, tcp / bip);
   }
   std::printf("\nshape checks: BIP wins everywhere; the gap is largest for small\n"

@@ -1,15 +1,33 @@
 #!/usr/bin/env bash
-# AddressSanitizer ctest configuration: configures and builds a separate
-# instrumented tree (build-asan/) with -DSTARFISH_SANITIZE=address and runs
-# the full suite under it. Extra arguments are passed through to ctest.
+# Sanitizer ctest configurations: builds separate instrumented trees and runs
+# the full suite (including the chaos fault-injection tests) under each.
+#
+#   scripts/asan_ctest.sh            # ASan tree (build-asan/)
+#   STARFISH_UBSAN=1 scripts/asan_ctest.sh   # additionally a UBSan tree
+#                                            # (build-ubsan/, -DSTARFISH_UBSAN=ON)
+#
+# Extra arguments are passed through to ctest.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build-asan -S . -DSTARFISH_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-asan -j
-cd build-asan
 # Leak checking is off: simulated host crashes abandon ucontext fiber stacks
 # without unwinding, so locals parked on them are unreachable-but-expected.
 # All other ASan checks (overflow, use-after-free, ...) remain fully active.
 export ASAN_OPTIONS="detect_leaks=0:${ASAN_OPTIONS:-}"
+
+if [[ "${STARFISH_UBSAN:-0}" != "0" ]]; then
+  cmake -B build-ubsan -S . -DSTARFISH_UBSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build build-ubsan -j
+  export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1:${UBSAN_OPTIONS:-}"
+  (cd build-ubsan && ctest --output-on-failure -j "$@")
+fi
+
+cd build-asan
+# The chaos suite must be present in the sanitized run: it is the tier that
+# drives the GCS repair and recovery-line paths under injected faults.
+# grep -c (not -q): -q would close the pipe early and pipefail would see
+# ctest's SIGPIPE as a failure.
+[ "$(ctest -N | grep -ci chaos)" -gt 0 ] || { echo "chaos tests missing from ctest registration" >&2; exit 1; }
 exec ctest --output-on-failure -j "$@"

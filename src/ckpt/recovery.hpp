@@ -14,9 +14,16 @@
 //    i+1; a message sent there carries IntervalId{p, i}.
 //  * Checkpoint c of p depends on (q, j) iff p received, before taking c, a
 //    message q sent during its interval j.
-//  * A cut {c_p} is consistent iff no dependency (q, j) of any chosen c_p
-//    has j >= c_q (such a receive would be an orphan: q's restored state has
-//    not yet sent the message).
+//  * A cut {c_p} is consistent iff
+//      - no dependency (q, j) of any chosen c_p has j >= c_q (such a receive
+//        would be an orphan: q's restored state has not yet sent the
+//        message), and
+//      - for every pair p -> q, the number of messages p's chosen state has
+//        sent to q does not exceed the number q's chosen state has consumed
+//        from p. A violating message is *lost*: p's restored state will not
+//        resend it and q never saw it, so the computation wedges. Without
+//        sender-side message logging the only remedy is to roll the sender
+//        back past the send, which is why the tracker also counts sends.
 #pragma once
 
 #include <cstdint>
@@ -45,7 +52,15 @@ class DependencyTracker {
   uint32_t current_interval() const { return interval_; }
 
   IntervalId on_send() const { return {rank_, interval_}; }
+  /// Counts one application message toward `dst` (lost-message accounting;
+  /// call once per app-level send, not per protocol frame).
+  void note_send(uint32_t dst) { ++sent_[dst]; }
   void on_recv(IntervalId sender_interval) { received_.push_back(sender_interval); }
+
+  /// Cumulative receive dependencies (one entry per consumed message).
+  const std::vector<IntervalId>& received() const { return received_; }
+  /// Cumulative per-peer application-message send counts.
+  const std::map<uint32_t, uint32_t>& sent() const { return sent_; }
 
   /// Ends the current interval; returns the new checkpoint's index and its
   /// cumulative dependency set (everything received so far).
@@ -56,18 +71,25 @@ class DependencyTracker {
 
   /// Rolls the tracker back to checkpoint `index` with that checkpoint's
   /// dependency set (after a recovery).
-  void reset_to(uint32_t index, std::vector<IntervalId> deps) {
+  void reset_to(uint32_t index, std::vector<IntervalId> deps,
+                std::map<uint32_t, uint32_t> sent = {}) {
     interval_ = index;
     received_ = std::move(deps);
+    sent_ = std::move(sent);
   }
 
   util::Bytes encode() const;
-  static DependencyTracker decode(const util::Bytes& bytes);
+  /// Bounds-checked: a truncated or over-announcing buffer (e.g. a corrupt
+  /// checkpoint container) surfaces as a decode error instead of silently
+  /// yielding a zeroed dependency set — which would fabricate a recovery
+  /// line unconstrained by the dependencies that were actually recorded.
+  static util::Result<DependencyTracker> decode(const util::Bytes& bytes);
 
  private:
   uint32_t rank_;
   uint32_t interval_ = 0;
   std::vector<IntervalId> received_;
+  std::map<uint32_t, uint32_t> sent_;
 };
 
 /// Metadata of one stored checkpoint.
@@ -75,6 +97,9 @@ struct CheckpointMeta {
   uint32_t rank = 0;
   uint32_t index = 0;  ///< 0 = initial state
   std::vector<IntervalId> depends_on;
+  /// Cumulative per-peer send counts at the cut (empty = sent nothing or a
+  /// pre-send-tracking blob; either way it imposes no lost-message bound).
+  std::map<uint32_t, uint32_t> sent;
 };
 
 /// Computes the recovery line. `latest` gives, per rank, the newest usable

@@ -3,7 +3,7 @@
 namespace starfish::core {
 
 Cluster::Cluster(ClusterOptions options)
-    : options_(std::move(options)), network_(engine_), store_(engine_) {
+    : options_(std::move(options)), engine_(options_.seed), network_(engine_), store_(engine_) {
   launcher_ = std::make_unique<Launcher>(network_, store_, registry_, options_.process);
   for (size_t i = 0; i < options_.nodes; ++i) {
     const sim::Machine& machine =

@@ -24,6 +24,9 @@ struct ClusterOptions {
   std::vector<sim::Machine> machines;
   ProcessOptions process;
   daemon::DaemonConfig daemon;
+  /// Seed of the engine's RNG (fault-injection draws; 0 is a valid seed).
+  /// Two clusters built with the same options and seed replay identically.
+  uint64_t seed = 0;
 };
 
 class Cluster {
@@ -68,6 +71,16 @@ class Cluster {
 
   /// Fail-stop node crash (kills the daemon and every hosted process).
   void crash_node(sim::HostId id) { network_.crash_host(id); }
+
+  // --- message-level fault injection (chaos harness) ---
+  net::FaultInjector& faults() { return network_.faults(); }
+  /// Cuts every link between group `a` and group `b` (both directions when
+  /// `symmetric`); heal() reconnects. Scoped sugar over faults().
+  void partition(const std::vector<sim::HostId>& a, const std::vector<sim::HostId>& b,
+                 bool symmetric = true) {
+    network_.faults().partition(a, b, symmetric);
+  }
+  void heal() { network_.faults().heal(); }
 
   /// Runs an ASCII management-protocol session against node `via` from the
   /// dedicated client workstation; returns one response per command line

@@ -329,8 +329,14 @@ void CrModule::take_uncoordinated_checkpoint() {
   process_.proc().wait_rendezvous_drained();
   const auto [index, deps] = tracker_.cut_checkpoint();
   (void)deps;
-  store_image(index, process_.capture_app_state(), process_.proc().capture_channel_state(),
-              {});
+  // Deliberately no channel capture: an unconsumed inbox message is neither
+  // in the dependency set (on_recv fires at consumption) nor in the sender's
+  // surviving send ledger once the line rolls the sender back — restoring a
+  // stored copy AND replaying the rolled-back send would duplicate it. The
+  // recovery line instead treats everything unconsumed at the cut as
+  // in-flight: the lost-message rule rolls the sender back and the
+  // re-execution regenerates it exactly once.
+  store_image(index, process_.capture_app_state(), {}, {});
   process_.store().put_meta(
       ckpt::CkptKey{process_.job().name, process_.rank(), index}, tracker_.encode());
   process_.proc().thaw();
@@ -439,7 +445,9 @@ util::Result<RestoredState> CrModule::restore(uint64_t epoch) {
     have_prev_ = true;
   }
 
-  tracker_ = ckpt::DependencyTracker::decode(c.tracker);
+  auto tracker = ckpt::DependencyTracker::decode(c.tracker);
+  if (!tracker.ok()) return tracker.error();
+  tracker_ = std::move(tracker).take();
   process_.proc().set_dependency_tracker(&tracker_);
   process_.proc().restore_channel_state(c.channel_state, std::move(c.recorded));
   if (process_.job().protocol != daemon::CrProtocol::kUncoordinated) {

@@ -693,21 +693,17 @@ std::map<uint32_t, uint64_t> Daemon::compute_restore_epochs(const AppState& stat
       for (uint32_t idx = 1; idx <= latest[rank]; ++idx) {
         auto meta_blob = store_.checkpoint_meta(ckpt::CkptKey{app, rank, idx});
         if (!meta_blob) continue;
-        // The blob is a DependencyTracker encoding: rank, interval, then the
-        // cumulative receive-dependency list.
+        // The blob is a DependencyTracker encoding. A corrupt blob makes the
+        // checkpoint unusable as a line candidate — treating it as "no
+        // recorded constraints" would fabricate a line the dependencies
+        // never supported, so skip it (like a missing meta).
+        auto tracker = ckpt::DependencyTracker::decode(*meta_blob);
+        if (!tracker.ok()) continue;
         ckpt::CheckpointMeta meta;
         meta.rank = rank;
         meta.index = idx;
-        util::Reader r(util::as_bytes_view(*meta_blob));
-        (void)r.u32();  // rank
-        (void)r.u32();  // interval
-        const uint32_t n = r.u32().value_or(0);
-        for (uint32_t i = 0; i < n; ++i) {
-          ckpt::IntervalId dep;
-          dep.rank = r.u32().value_or(0);
-          dep.interval = r.u32().value_or(0);
-          meta.depends_on.push_back(dep);
-        }
+        meta.depends_on = tracker.value().received();
+        meta.sent = tracker.value().sent();
         metas.push_back(std::move(meta));
       }
     }

@@ -13,6 +13,20 @@ constexpr const char* kLog = "gcs";
 std::pair<uint64_t, uint32_t> marker(uint64_t view_id, uint32_t attempt) {
   return {view_id, attempt};
 }
+
+/// Cap on ORDER resends per heartbeat when repairing a stalled member, so a
+/// huge gap is streamed out a window at a time instead of in one burst.
+constexpr int kMaxGapRepair = 64;
+
+/// Moves m[from] to m[to], keeping the larger value if both keys exist.
+template <typename V>
+void remap_key(std::map<MemberId, V>& m, const MemberId& from, const MemberId& to) {
+  auto it = m.find(from);
+  if (it == m.end()) return;
+  V& slot = m[to];
+  slot = std::max(slot, it->second);
+  m.erase(from);
+}
 }  // namespace
 
 std::string View::to_string() const {
@@ -45,10 +59,19 @@ void GroupEndpoint::start_founding(const std::vector<net::NetAddr>& founders) {
   View v;
   v.view_id = 1;
   for (size_t i = 0; i < founders.size(); ++i) {
-    v.members.push_back(Member{MemberId{founders[i].host, 0}, static_cast<uint32_t>(i),
-                               founders[i]});
+    // Our own entry carries our real incarnation (a founder restarted after
+    // a crash is not incarnation 0); peers start at 0 and are upgraded by
+    // resolve_incarnation() on first contact.
+    const MemberId id =
+        founders[i] == addr() ? self_ : MemberId{founders[i].host, 0};
+    v.members.push_back(Member{id, static_cast<uint32_t>(i), founders[i]});
   }
   assert(v.contains(self_) && "founding list must include this endpoint");
+  // Synthesize the INSTALL of the founding view so laggard re-teaching
+  // (kInstallReq / stale kPrepare) works from view 1 onwards.
+  last_install_ = base_msg(MsgKind::kInstall);
+  last_install_.view_id = v.view_id;
+  last_install_.members = v.members;
   view_ = v;
   in_view_ = true;
   change_view_id_ = v.view_id;
@@ -85,6 +108,7 @@ void GroupEndpoint::leave() {
 void GroupEndpoint::multicast(util::Bytes payload) {
   const uint64_t id = ++next_msg_id_;
   pending_.emplace_back(id, payload);
+  pending_sent_at_ = net_.engine().now();
   if (in_view_ && phase_ == Phase::kNormal) {
     WireMsg msg = base_msg(MsgKind::kOrderReq);
     msg.msg_id = id;
@@ -127,14 +151,38 @@ void GroupEndpoint::tick_loop() {
       continue;
     }
 
-    // Heartbeats to every other member, advertising our delivery progress
-    // so peers can garbage-collect stable messages.
+    // Heartbeats to every other member, advertising our view and delivery
+    // progress so peers can garbage-collect stable messages (and so laggards
+    // notice a view they missed).
     WireMsg hb = base_msg(MsgKind::kHeartbeat);
+    hb.view_id = view_.view_id;
     hb.delivered = delivered_gseq_;
     for (const auto& m : view_.members) {
       if (m.id != self_) send_to_member(m, hb);
     }
     check_failures();
+
+    // A multicast outstanding for multiple beats means its ORDER_REQ was
+    // lost on the way to the sequencer (the heartbeat gap repair covers the
+    // ORDER coming back). Resubmit; per-origin msg ids dedupe.
+    if (phase_ == Phase::kNormal && !pending_.empty() &&
+        now - pending_sent_at_ >= 2 * config_.heartbeat_period) {
+      resend_pending();
+    }
+
+    // A flush stalled for multiple beats means PREPAREs or FLUSH_OKs were
+    // lost; repropose to the members that have not answered yet.
+    if (self_is_change_coordinator() && !flush_waiting_.empty() && now <= flush_deadline_ &&
+        now - flush_started_ >= 2 * config_.heartbeat_period) {
+      WireMsg prep = base_msg(MsgKind::kPrepare);
+      prep.view_id = change_view_id_;
+      prep.attempt = change_attempt_;
+      prep.members = proposed_members_;
+      prep.coord_delivered = delivered_gseq_;
+      for (const auto& m : view_.members) {
+        if (flush_waiting_.contains(m.id)) send_to_member(m, prep);
+      }
+    }
 
     // Flush stuck? The change coordinator must have died mid-change.
     if (phase_ == Phase::kFlushing && now > flush_deadline_) {
@@ -193,7 +241,8 @@ void GroupEndpoint::initiate_change() {
   ++change_attempt_;
   change_coordinator_ = self_;
   phase_ = Phase::kFlushing;
-  flush_deadline_ = net_.engine().now() + config_.flush_timeout;
+  flush_started_ = net_.engine().now();
+  flush_deadline_ = flush_started_ + config_.flush_timeout;
 
   // Snapshot the joiners/leavers this change covers; requests arriving
   // during the flush are kept for the next change.
@@ -253,6 +302,7 @@ void GroupEndpoint::finish_change_if_ready() {
   inst.attempt = change_attempt_;
   inst.members = proposed_members_;
   inst.retransmit = retransmit;
+  last_install_ = inst;  // kept to re-teach members whose copy is lost
 
   // Old members (and leavers) get the plain install; joiners also receive
   // the replicated-state snapshot.
@@ -269,9 +319,15 @@ void GroupEndpoint::finish_change_if_ready() {
       send_to_member(m, inst);
     }
   }
-  // Departing leavers learn they are out.
+  // Every old-view member missing from the new view — graceful leaver or
+  // suspect — is taught the install that excludes it. For a real crash the
+  // datagram lands on a dead host and is wasted; for a false suspicion it
+  // is essential: nobody heartbeats the excluded member anymore, so without
+  // this INSTALL it would suspect everyone in turn, wedge itself into a
+  // singleton view and never trigger the auto-rejoin path.
+  const View next_view{change_view_id_, proposed_members_};
   for (const auto& m : view_.members) {
-    if (change_leavers_.contains(m.id) && m.id != self_) send_to_member(m, inst);
+    if (m.id != self_ && !next_view.contains(m.id)) send_to_member(m, inst);
   }
 
   for (const auto& [id, a] : change_joiners_) joiners_.erase(id);
@@ -284,6 +340,10 @@ void GroupEndpoint::finish_change_if_ready() {
 // ------------------------------------------------------------ handlers ----
 
 void GroupEndpoint::handle(const WireMsg& msg) {
+  // Joins are the one message an endpoint legitimately sends before it is a
+  // member, so they never resolve an incarnation (a rebooted host must be
+  // excluded and re-admitted, not aliased onto its dead predecessor).
+  if (msg.kind != MsgKind::kJoinReq) resolve_incarnation(msg);
   switch (msg.kind) {
     case MsgKind::kHeartbeat: handle_heartbeat(msg); break;
     case MsgKind::kJoinReq: handle_join_req(msg); break;
@@ -293,11 +353,59 @@ void GroupEndpoint::handle(const WireMsg& msg) {
     case MsgKind::kPrepare: handle_prepare(msg); break;
     case MsgKind::kFlushOk: handle_flush_ok(msg); break;
     case MsgKind::kInstall: handle_install(msg); break;
+    case MsgKind::kInstallReq: handle_install_req(msg); break;
+  }
+}
+
+void GroupEndpoint::resolve_incarnation(const WireMsg& msg) {
+  if (!in_view_ || view_.contains(msg.from)) return;
+  for (auto& m : view_.members) {
+    if (m.addr != msg.from_addr || m.id.host != msg.from.host ||
+        m.id.incarnation >= msg.from.incarnation) {
+      continue;
+    }
+    // The view records this host/address under an older incarnation (a
+    // founding list assumes 0); the first message from the live endpoint
+    // reveals the real one. Upgrade in place so failure detection, flushes
+    // and sequencing address the member that actually exists.
+    const MemberId old = m.id;
+    m.id = msg.from;
+    remap_key(last_heard_, old, m.id);
+    remap_key(peer_delivered_, old, m.id);
+    remap_key(hb_prev_delivered_, old, m.id);
+    remap_key(last_delivered_msg_id_, old, m.id);
+    remap_key(last_sequenced_msg_id_, old, m.id);
+    if (suspects_.erase(old) > 0) suspects_.insert(m.id);
+    if (flush_waiting_.erase(old) > 0) flush_waiting_.insert(m.id);
+    if (change_coordinator_ == old) change_coordinator_ = m.id;
+    for (auto& pm : proposed_members_) {
+      if (pm.id == old) pm.id = m.id;
+    }
+    STARFISH_LOG(kInfo, kLog) << self_.to_string() << " resolved member " << old.to_string()
+                              << " -> " << m.id.to_string();
+    return;
   }
 }
 
 void GroupEndpoint::handle_heartbeat(const WireMsg& msg) {
-  last_heard_[msg.from] = net_.engine().now();
+  const sim::Time now = net_.engine().now();
+  last_heard_[msg.from] = now;
+  if (in_view_ && msg.view_id > view_.view_id) {
+    // The sender installed a view we never saw: our INSTALL was lost. Give
+    // it one beat of grace (the install may simply still be in flight),
+    // then ask the sender to re-teach it.
+    if (behind_since_ == 0) {
+      behind_since_ = now;
+    } else if (now - behind_since_ >= config_.heartbeat_period) {
+      WireMsg req = base_msg(MsgKind::kInstallReq);
+      req.view_id = view_.view_id;
+      send_to(msg.from_addr, req);
+      behind_since_ = now;
+    }
+    return;  // the sender's gseq space is not ours: no stability / repair
+  }
+  if (msg.view_id < view_.view_id) return;  // stale: old gseq space
+  behind_since_ = 0;
   // Stability garbage collection: a message every view member has delivered
   // can never be requested during a flush, so drop it from the log.
   peer_delivered_[msg.from] = std::max(peer_delivered_[msg.from], msg.delivered);
@@ -309,6 +417,33 @@ void GroupEndpoint::handle_heartbeat(const WireMsg& msg) {
     stable = std::min(stable, it == peer_delivered_.end() ? 0 : it->second);
   }
   if (stable > 0) delivered_.erase(delivered_.begin(), delivered_.lower_bound(stable));
+
+  // Gap repair (sequencer side): a peer whose advertised delivered repeats
+  // while it was already behind us a full beat ago lost an ORDER; fault-free
+  // a fan-out always lands well inside one beat, so this can only fire when
+  // the wire actually dropped it. Resend the suffix it is missing.
+  if (is_coordinator() && delivered_gseq_ > msg.delivered) {
+    const auto prev = hb_prev_delivered_.find(msg.from);
+    const bool stalled = prev != hb_prev_delivered_.end() &&
+                         prev->second.first == msg.delivered &&
+                         prev->second.second > msg.delivered;
+    hb_prev_delivered_[msg.from] = {msg.delivered, delivered_gseq_};
+    const Member* m = member_by_id(msg.from);
+    if (stalled && m != nullptr) {
+      int resent = 0;
+      for (auto it = delivered_.upper_bound(msg.delivered);
+           it != delivered_.end() && resent < kMaxGapRepair; ++it, ++resent) {
+        WireMsg order = base_msg(MsgKind::kOrder);
+        order.gseq = it->first;
+        order.origin = it->second.origin;
+        order.msg_id = it->second.msg_id;
+        order.payload = it->second.payload;
+        send_to_member(*m, order);
+      }
+    }
+  } else {
+    hb_prev_delivered_.erase(msg.from);
+  }
 }
 
 void GroupEndpoint::handle_join_req(const WireMsg& msg) {
@@ -381,8 +516,34 @@ void GroupEndpoint::deliver(const OrderedMsg& msg) {
 }
 
 void GroupEndpoint::handle_prepare(const WireMsg& msg) {
-  if (marker(msg.view_id, msg.attempt) <= marker(change_view_id_, change_attempt_)) return;
   if (!in_view_) return;
+  if (msg.view_id <= view_.view_id) {
+    // The proposer missed the INSTALL that completed this (or an earlier)
+    // change — it may even have been excluded by it. Re-teach it the current
+    // view instead of letting it propose ever-higher attempts forever.
+    if (phase_ == Phase::kNormal && last_install_.view_id == view_.view_id) {
+      send_to(msg.from_addr, last_install_);
+    }
+    return;
+  }
+  if (msg.view_id > view_.view_id + 1) {
+    // We are at least one whole view behind the proposer; our buffered
+    // messages belong to an older gseq space and would corrupt the flush.
+    // Ask for the INSTALL we missed instead of answering.
+    WireMsg req = base_msg(MsgKind::kInstallReq);
+    req.view_id = view_.view_id;
+    send_to(msg.from_addr, req);
+    return;
+  }
+  const auto incoming = marker(msg.view_id, msg.attempt);
+  const auto current = marker(change_view_id_, change_attempt_);
+  if (incoming < current) return;
+  if (incoming == current &&
+      !(phase_ == Phase::kFlushing && change_coordinator_ == msg.from)) {
+    return;
+  }
+  // An equal marker re-sent by the current change coordinator means our
+  // FLUSH_OK was lost; answering again is idempotent.
   phase_ = Phase::kFlushing;
   change_view_id_ = msg.view_id;
   change_attempt_ = msg.attempt;
@@ -394,6 +555,14 @@ void GroupEndpoint::handle_prepare(const WireMsg& msg) {
   flush.attempt = msg.attempt;
   flush.delivered = delivered_gseq_;
   for (const auto& [gseq, om] : delivered_) {
+    if (gseq > msg.coord_delivered) flush.buffered.push_back(om);
+  }
+  // Forward the undelivered holdback too: messages parked behind a sequence
+  // gap on our side must not die with the view — the coordinator may be
+  // able to fill the gap from another member's flush and deliver them
+  // (virtual synchrony), where discarding them would lose the message for
+  // everyone if we were the only receiver.
+  for (const auto& [gseq, om] : holdback_) {
     if (gseq > msg.coord_delivered) flush.buffered.push_back(om);
   }
   send_to(msg.from_addr, flush);
@@ -414,25 +583,49 @@ void GroupEndpoint::handle_flush_ok(const WireMsg& msg) {
 
 void GroupEndpoint::handle_install(const WireMsg& msg) {
   if (msg.view_id <= view_.view_id) return;  // stale
-  // Complete the old view: deliver the retransmission tail in order.
-  for (const auto& om : msg.retransmit) {
-    if (om.gseq > delivered_gseq_ && !holdback_.contains(om.gseq)) holdback_[om.gseq] = om;
+  // Complete the old view: deliver the retransmission tail in order. The
+  // tail only makes sense for the view directly below the one installed —
+  // gseq spaces restart per view, so a member that skipped a whole view
+  // must not merge a foreign sequence space into its holdback.
+  if (in_view_ && msg.view_id == view_.view_id + 1) {
+    for (const auto& om : msg.retransmit) {
+      if (om.gseq > delivered_gseq_ && !holdback_.contains(om.gseq)) holdback_[om.gseq] = om;
+    }
+    deliver_ready();
   }
-  if (in_view_) deliver_ready();
 
   if (msg.has_state && callbacks_.set_state) callbacks_.set_state(msg.state);
 
+  // Remember the install (snapshot stripped) for laggard re-teaching.
+  last_install_ = msg;
+  last_install_.has_state = false;
+  last_install_.state.clear();
+  behind_since_ = 0;
+
   View v{msg.view_id, msg.members};
   if (!v.contains(self_)) {
-    // Excluded: we asked to leave (or were cut off). Stop participating.
+    // Excluded: we asked to leave, or a false suspicion cut us off.
     in_view_ = false;
     phase_ = Phase::kNormal;
     change_view_id_ = msg.view_id;
     change_attempt_ = msg.attempt;
+    if (!leaving_) {
+      // We never asked to leave (our heartbeats must have been lost):
+      // rejoin through the survivors instead of silently dropping off.
+      join_seeds_.clear();
+      for (const auto& m : v.members) join_seeds_.push_back(m.addr);
+    }
     if (callbacks_.on_view) callbacks_.on_view(v);
     return;
   }
   install_view(v, msg.retransmit);
+}
+
+void GroupEndpoint::handle_install_req(const WireMsg& msg) {
+  if (!in_view_ || phase_ != Phase::kNormal) return;
+  if (msg.view_id >= view_.view_id) return;  // requester is not behind us
+  if (last_install_.view_id != view_.view_id) return;
+  send_to(msg.from_addr, last_install_);
 }
 
 void GroupEndpoint::install_view(const View& v, const std::vector<OrderedMsg>&) {
@@ -449,6 +642,8 @@ void GroupEndpoint::install_view(const View& v, const std::vector<OrderedMsg>&) 
   suspects_.clear();
   last_heard_.clear();
   peer_delivered_.clear();
+  hb_prev_delivered_.clear();
+  behind_since_ = 0;
   const sim::Time now = net_.engine().now();
   for (const auto& m : view_.members) last_heard_[m.id] = now;
   ++views_installed_;
@@ -459,6 +654,7 @@ void GroupEndpoint::install_view(const View& v, const std::vector<OrderedMsg>&) 
 
 void GroupEndpoint::resend_pending() {
   if (!in_view_ || pending_.empty()) return;
+  pending_sent_at_ = net_.engine().now();
   for (const auto& [id, payload] : pending_) {
     WireMsg msg = base_msg(MsgKind::kOrderReq);
     msg.msg_id = id;

@@ -95,6 +95,11 @@ class GroupEndpoint {
   void handle_prepare(const WireMsg& msg);
   void handle_flush_ok(const WireMsg& msg);
   void handle_install(const WireMsg& msg);
+  void handle_install_req(const WireMsg& msg);
+  /// Upgrades a view member recorded under an older incarnation of the same
+  /// host/address when a message reveals the real one (founding views record
+  /// peers as incarnation 0 until first contact).
+  void resolve_incarnation(const WireMsg& msg);
 
   void deliver_ready();
   void deliver(const OrderedMsg& msg);
@@ -138,6 +143,9 @@ class GroupEndpoint {
   // Sender state.
   uint64_t next_msg_id_ = 0;
   std::deque<std::pair<uint64_t, util::Bytes>> pending_;  ///< not yet self-delivered
+  /// When the pending queue was last (re)submitted to the sequencer; a queue
+  /// outstanding for multiple beats means the ORDER_REQ was lost on the wire.
+  sim::Time pending_sent_at_ = 0;
 
   // Coordinator (sequencer) state.
   uint64_t next_gseq_ = 0;
@@ -150,13 +158,25 @@ class GroupEndpoint {
   /// the retransmission log below the view-wide minimum are stable and can
   /// be pruned (messages everyone delivered are never needed in a flush).
   std::map<MemberId, uint64_t> peer_delivered_;
+  /// Sequencer-side stall detector: (peer's advertised delivered, our own
+  /// delivered) at that peer's previous heartbeat. A peer whose advertised
+  /// value repeats while it was already behind us a full beat ago is stuck
+  /// behind a lost ORDER and gets the missing suffix resent.
+  std::map<MemberId, std::pair<uint64_t, uint64_t>> hb_prev_delivered_;
+  /// Since when heartbeats advertise a view newer than ours (0 = not
+  /// behind); after a beat of grace we ask a peer to resend the INSTALL.
+  sim::Time behind_since_ = 0;
 
   // View change state.
   Phase phase_ = Phase::kNormal;
   uint64_t change_view_id_ = 0;
   uint32_t change_attempt_ = 0;
   MemberId change_coordinator_;
+  sim::Time flush_started_ = 0;
   sim::Time flush_deadline_ = 0;
+  /// INSTALL of the current view (state snapshot stripped), kept to re-teach
+  /// members whose copy was lost on the wire.
+  WireMsg last_install_;
   // As change coordinator:
   std::map<MemberId, net::NetAddr> joiners_;
   std::set<MemberId> leavers_;

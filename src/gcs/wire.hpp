@@ -24,6 +24,7 @@ enum class MsgKind : uint8_t {
   kPrepare = 6,    ///< view change phase 1
   kFlushOk = 7,    ///< view change phase 2
   kInstall = 8,    ///< view change phase 3
+  kInstallReq = 9, ///< laggard -> any member: resend the INSTALL I missed
 };
 
 /// A sequenced message as retransmitted during flush.

@@ -249,6 +249,11 @@ void Proc::do_send(uint32_t comm, uint32_t dst, int tag, util::Bytes data) {
 
   ++messages_sent_;
   bytes_sent_ += data.size();
+  // One app message = one send-count tick, whether it travels as a single
+  // eager frame or a rendezvous exchange (the receiver's on_recv fires once
+  // per app message too, so the lost-message comparison stays apples-to-
+  // apples).
+  if (tracker_ != nullptr) tracker_->note_send(dst);
   if (data.size() <= config_.eager_threshold) {
     Frame frame;
     frame.kind = FrameKind::kEager;

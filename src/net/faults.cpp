@@ -1,0 +1,153 @@
+#include "net/faults.hpp"
+
+#include "net/network.hpp"
+
+namespace starfish::net {
+
+namespace {
+/// A "dropped" stream frame is retransmitted, not lost; cap the modelled
+/// consecutive-loss streak so a drop probability of 1.0 cannot stall the
+/// simulation forever.
+constexpr int kMaxStreamRetransmits = 16;
+}  // namespace
+
+void FaultInjector::partition(const std::vector<sim::HostId>& a,
+                              const std::vector<sim::HostId>& b, bool symmetric) {
+  for (sim::HostId x : a) {
+    for (sim::HostId y : b) {
+      if (x == y) continue;
+      blocked_.insert({x, y});
+      if (symmetric) blocked_.insert({y, x});
+    }
+  }
+  refresh_enabled();
+}
+
+void FaultInjector::heal() {
+  blocked_.clear();
+  refresh_enabled();
+}
+
+void FaultInjector::clear() {
+  default_ = LinkFaults{};
+  for (auto& t : transport_) t.reset();
+  links_.clear();
+  blocked_.clear();
+  filter_ = nullptr;
+  trace_.clear();
+  refresh_enabled();
+}
+
+void FaultInjector::refresh_enabled() {
+  enabled_ = default_.any() || !links_.empty() || !blocked_.empty() || filter_ != nullptr;
+  if (!enabled_) {
+    for (const auto& t : transport_) {
+      if (t && t->any()) enabled_ = true;
+    }
+  }
+}
+
+const LinkFaults& FaultInjector::faults_for(sim::HostId src, sim::HostId dst,
+                                            TransportKind kind) const {
+  auto it = links_.find({src, dst});
+  if (it != links_.end()) return it->second;
+  const auto& t = transport_[static_cast<size_t>(kind)];
+  if (t) return *t;
+  return default_;
+}
+
+void FaultInjector::note(const char* what, sim::HostId src, sim::HostId dst) {
+  trace_.push_back(std::to_string(engine_.now()) + " " + what + " host" + std::to_string(src) +
+                   "->host" + std::to_string(dst));
+}
+
+sim::Duration FaultInjector::latency_extra(const LinkFaults& f, sim::HostId src, sim::HostId dst,
+                                           const char* what) {
+  sim::Duration extra = f.delay;
+  if (f.jitter > 0) {
+    extra += static_cast<sim::Duration>(engine_.rng().below(static_cast<uint64_t>(f.jitter)));
+  }
+  if (extra > 0) {
+    ++counters_.datagrams_delayed;
+    note(what, src, dst);
+  }
+  return extra;
+}
+
+FaultInjector::Verdict FaultInjector::datagram_verdict(const Packet& packet,
+                                                       TransportKind kind) {
+  Verdict v;
+  const sim::HostId src = packet.src.host;
+  const sim::HostId dst = packet.dst.host;
+  if (src == dst) return v;  // loopback is exempt from all faults
+  if (filter_ && filter_(packet, kind)) {
+    v.drop = true;
+    ++counters_.filter_drops;
+    note("filter-drop", src, dst);
+    return v;
+  }
+  if (link_blocked(src, dst)) {
+    v.drop = true;
+    ++counters_.partition_drops;
+    note("partition-drop", src, dst);
+    return v;
+  }
+  const LinkFaults& f = faults_for(src, dst, kind);
+  if (!f.any()) return v;
+  if (f.drop > 0 && engine_.rng().chance(f.drop)) {
+    v.drop = true;
+    ++counters_.datagrams_dropped;
+    note("drop", src, dst);
+    return v;
+  }
+  if (f.duplicate > 0 && engine_.rng().chance(f.duplicate)) {
+    v.duplicate = true;
+    ++counters_.datagrams_duplicated;
+    note("duplicate", src, dst);
+  }
+  v.extra = latency_extra(f, src, dst, "delay");
+  return v;
+}
+
+sim::Duration FaultInjector::stream_penalty(sim::HostId src, sim::HostId dst,
+                                            TransportKind kind, size_t bytes, bool& reset) {
+  reset = false;
+  if (src == dst) return 0;
+  if (link_blocked(src, dst) || link_blocked(dst, src)) {
+    // TCP across a partition: retransmissions exhaust and the connection
+    // resets. In-flight data is lost, both ends observe a broken stream.
+    reset = true;
+    ++counters_.stream_resets;
+    note("stream-reset", src, dst);
+    return 0;
+  }
+  const LinkFaults& f = faults_for(src, dst, kind);
+  if (!f.any()) return 0;
+  sim::Duration extra = 0;
+  if (f.drop > 0) {
+    const TransportModel& model = model_for(kind);
+    const sim::Duration resend = 2 * model.one_way_fixed() + model.wire_time(bytes);
+    int streak = 0;
+    while (streak < kMaxStreamRetransmits && engine_.rng().chance(f.drop)) {
+      extra += resend;
+      ++streak;
+    }
+    if (streak > 0) {
+      counters_.stream_retransmits += static_cast<uint64_t>(streak);
+      note("stream-retransmit", src, dst);
+    }
+  }
+  extra += latency_extra(f, src, dst, "stream-delay");
+  return extra;
+}
+
+bool FaultInjector::connect_blocked(sim::HostId from, sim::HostId to) {
+  if (link_blocked(from, to) || link_blocked(to, from)) {
+    ++counters_.connects_blocked;
+    note("connect-blocked", from, to);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace starfish::net

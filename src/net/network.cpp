@@ -39,20 +39,45 @@ void Network::transmit(TransportKind kind, Packet packet) {
   } else {
     delay = model.one_way_fixed() - model.propagation + model.wire_time(packet.payload.size());
   }
+  bool duplicate = false;
+  if (faults_.enabled()) {
+    const auto verdict = faults_.datagram_verdict(packet, kind);
+    if (verdict.drop) {
+      ++packets_sent_;  // it went on the wire; the wire lost it
+      return;
+    }
+    delay += verdict.extra;
+    duplicate = verdict.duplicate;
+  }
   // FIFO per (src, dst) pair: a short message must not overtake a long one
   // sent earlier on the same pair — both TCP streams and BIP channels
-  // deliver in order, and the gcs flush protocol relies on it.
+  // deliver in order, and the gcs flush protocol relies on it. Injected
+  // extra latency lands before this clamp, so faults never reorder a pair.
   const auto key = std::make_pair(packet.src, packet.dst);
   const sim::Time arrival = std::max(engine_.now() + delay, last_delivery_[key] + 1);
   last_delivery_[key] = arrival;
   delay = arrival - engine_.now();
   ++packets_sent_;
+  Packet second;
+  if (duplicate) second = packet;
   engine_.schedule(delay, [this, packet = std::move(packet)]() mutable {
-    if (!host_alive(packet.dst.host) || !host_alive(packet.src.host)) return;
-    auto it = bindings_.find(packet.dst);
-    if (it == bindings_.end()) return;  // nothing bound: datagram dropped
-    it->second->inbox_.send(std::move(packet));
+    deliver_packet(std::move(packet));
   });
+  if (duplicate) {
+    const sim::Time dup_arrival = last_delivery_[key] + 1;
+    last_delivery_[key] = dup_arrival;
+    ++packets_sent_;
+    engine_.schedule(dup_arrival - engine_.now(), [this, packet = std::move(second)]() mutable {
+      deliver_packet(std::move(packet));
+    });
+  }
+}
+
+void Network::deliver_packet(Packet packet) {
+  if (!host_alive(packet.dst.host) || !host_alive(packet.src.host)) return;
+  auto it = bindings_.find(packet.dst);
+  if (it == bindings_.end()) return;  // nothing bound: datagram dropped
+  it->second->inbox_.send(std::move(packet));
 }
 
 void Network::unbind(NetAddr addr) { bindings_.erase(addr); }
@@ -117,10 +142,27 @@ bool Connection::send(util::SharedBytes payload) {
   State& st = *state_;
   if (st.closed || st.crashed || !net_.host_alive(local_)) return false;
   const TransportModel& model = model_for(st.kind);
-  const sim::Duration delay =
+  sim::Duration delay =
       model.one_way_fixed() - model.propagation + model.wire_time(payload.size());
   auto state = state_;
   const int peer = 1 - side_;
+  if (net_.faults().enabled()) {
+    bool reset = false;
+    const sim::Duration extra =
+        net_.faults().stream_penalty(local_, remote_, st.kind, payload.size(), reset);
+    if (reset) {
+      // TCP across a partition: the stream breaks, in-flight data is lost.
+      st.crashed = true;
+      st.inbox[0].close();
+      st.inbox[1].close();
+      return false;
+    }
+    // Retransmission/jitter latency, clamped so frames never overtake each
+    // other within one direction of the stream.
+    const sim::Time arrival =
+        std::max(net_.engine().now() + delay + extra, st.last_arrival[peer] + 1);
+    delay = arrival - net_.engine().now();
+  }
   Network* net = &net_;
   sim::HostId remote = remote_;
   st.last_arrival[peer] = std::max(st.last_arrival[peer], net_.engine().now() + delay);
@@ -181,6 +223,12 @@ AcceptorPtr Network::listen(sim::HostId host, Port port, TransportKind kind) {
 
 ConnectionPtr Network::connect(sim::HostId from, NetAddr dst, TransportKind kind) {
   if (!host_alive(from) || !host_alive(dst.host)) return nullptr;
+  if (faults_.enabled() && faults_.connect_blocked(from, dst.host)) {
+    // Neither SYN nor SYN/ACK can cross an active partition: the caller
+    // burns a handshake round trip and gets a connection timeout.
+    engine_.sleep(2 * model_for(kind).one_way_fixed());
+    return nullptr;
+  }
   auto it = listeners_.find(dst);
   if (it == listeners_.end() || it->second->kind_ != kind) return nullptr;
   Acceptor* acc = it->second;

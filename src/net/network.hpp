@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "net/faults.hpp"
 #include "net/model_params.hpp"
 #include "sim/host.hpp"
 #include "sim/sync.hpp"
@@ -153,6 +154,13 @@ class Network {
   /// its connections. The authoritative way to inject a node failure.
   void crash_host(sim::HostId id);
 
+  /// Message-level fault injection (loss, delay, duplication, partitions);
+  /// consulted on every transmit/connect once configured. Fault-free by
+  /// default, in which case every path is byte-identical to a fabric
+  /// without the injector.
+  FaultInjector& faults() { return faults_; }
+  const FaultInjector& faults() const { return faults_; }
+
   // --- datagram API ---
   DatagramEndpointPtr bind(sim::HostId host, Port port, TransportKind kind);
   /// Picks an unused port on the host.
@@ -175,11 +183,14 @@ class Network {
   /// Schedules wire transit and delivery into the bound inbox (dropped if
   /// either host dies first or nothing is bound on arrival).
   void transmit(TransportKind kind, Packet packet);
+  /// Arrival-time half of transmit: hands the packet to the bound inbox.
+  void deliver_packet(Packet packet);
   void unbind(NetAddr addr);
   void unlisten(NetAddr addr);
   Port next_auto_port_ = 1 << 16;
 
   sim::Engine& engine_;
+  FaultInjector faults_{engine_};
   std::vector<sim::HostPtr> hosts_;
   std::map<NetAddr, DatagramEndpoint*> bindings_;
   /// Last scheduled arrival per (src, dst) pair, enforcing per-pair FIFO.

@@ -15,17 +15,25 @@
 
 #include "sim/fiber.hpp"
 #include "sim/time.hpp"
+#include "util/rng.hpp"
 
 namespace starfish::sim {
 
 class Engine {
  public:
-  Engine() = default;
+  /// The seed feeds the engine-owned RNG that randomized simulation
+  /// components (fault injection, chaos schedules) draw from. Two engines
+  /// with the same seed and the same event sequence replay bit-for-bit.
+  explicit Engine(uint64_t seed = 0) : seed_(seed), rng_(seed) {}
   ~Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
   Time now() const { return now_; }
+  uint64_t seed() const { return seed_; }
+  /// The engine's deterministic RNG. Draw order is deterministic because
+  /// events execute in (time, sequence) order on a single thread.
+  util::Rng& rng() { return rng_; }
 
   /// Schedules a plain callback at now() + delay. Callbacks run on the main
   /// context and must not block.
@@ -89,6 +97,8 @@ class Engine {
   void fiber_exited();
 
   Time now_ = 0;
+  uint64_t seed_ = 0;
+  util::Rng rng_;
   uint64_t next_seq_ = 0;
   uint64_t next_fiber_id_ = 1;
   uint64_t events_executed_ = 0;

@@ -1,0 +1,581 @@
+// Chaos harness: seeded fault injection against the full stack.
+//
+// Two layers of test. The GCS layer drives the group protocol through
+// message loss, duplication, jitter, partitions and targeted drops, and
+// asserts the virtual-synchrony contract survives (everyone delivers the
+// same sequence, membership converges, no silent message loss). The
+// cluster layer runs the example ring application under every C/R
+// protocol with a lossy control plane, a jittery data plane and a
+// mid-run node crash, and asserts the job still finishes with the exact
+// fault-free answer. Every fault decision draws from the engine's seeded
+// RNG, so each test is a deterministic replay: the determinism tests
+// assert that the same seed reproduces the identical fault trace and the
+// identical final state.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "gcs/endpoint.hpp"
+#include "gcs/wire.hpp"
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+
+namespace starfish::gcs {
+namespace {
+
+using sim::milliseconds;
+using sim::seconds;
+
+util::Bytes text(const std::string& s) {
+  util::Bytes b;
+  util::Writer w(b);
+  w.raw(std::as_bytes(std::span<const char>(s.data(), s.size())));
+  return b;
+}
+
+std::string untext(const util::Bytes& b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+/// True when `small` appears in `big` in order (possibly with gaps).
+bool is_subsequence(const std::vector<std::string>& small, const std::vector<std::string>& big) {
+  size_t j = 0;
+  for (const auto& s : big) {
+    if (j < small.size() && s == small[j]) ++j;
+  }
+  return j == small.size();
+}
+
+/// N members founding one group on a seeded engine; records every
+/// delivery and view per member. The seed matters: fault verdicts draw
+/// from the engine RNG, so the whole run is a function of (topology,
+/// fault plan, seed).
+struct ChaosGroup {
+  sim::Engine eng;
+  net::Network net{eng};
+  GroupConfig config;
+  std::vector<std::unique_ptr<GroupEndpoint>> eps;
+  std::vector<std::vector<std::string>> delivered;  // per member: "origin:payload"
+  std::vector<std::vector<View>> views;             // per member
+
+  explicit ChaosGroup(size_t n, uint64_t seed, GroupConfig cfg = {}) : eng(seed), config(cfg) {
+    delivered.resize(n);
+    views.resize(n);
+    std::vector<net::NetAddr> founders;
+    for (size_t i = 0; i < n; ++i) {
+      auto host = net.add_host("node" + std::to_string(i));
+      founders.push_back({host->id(), config.control_port});
+    }
+    for (size_t i = 0; i < n; ++i) {
+      eps.push_back(std::make_unique<GroupEndpoint>(net, *net.host(static_cast<sim::HostId>(i)),
+                                                    config, callbacks(i)));
+    }
+    for (auto& ep : eps) ep->start_founding(founders);
+  }
+
+  Callbacks callbacks(size_t slot) {
+    Callbacks cbs;
+    cbs.on_view = [this, slot](const View& v) { views[slot].push_back(v); };
+    cbs.on_message = [this, slot](MemberId origin, const util::Bytes& payload) {
+      delivered[slot].push_back(origin.to_string() + ":" + untext(payload));
+    };
+    return cbs;
+  }
+
+  net::FaultInjector& faults() { return net.faults(); }
+  void run_for(sim::Duration d) { eng.run_for(d); }
+};
+
+// --------------------------------------------- satellite regressions ----
+
+// Regression for the holdback-discard bug: FLUSH_OK only forwarded the
+// *delivered* retransmission log, so a sequenced message sitting in a
+// survivor's holdback queue (received out of order) vanished when the
+// only member that had delivered it died. Kill the sequencer mid-fanout
+// with the two ORDER copies crossed over: one survivor has gseq 3 only
+// in holdback, the other has never seen it. The flush must still
+// reassemble and deliver all three messages on both survivors.
+TEST(GroupChaos, HoldbackSurvivesSequencerCrashMidFanout) {
+  ChaosGroup c(3, /*seed=*/1);
+  c.net.host(0)->spawn("sender", [&] {
+    c.eng.sleep(milliseconds(10));
+    c.eps[0]->multicast(text("a"));
+    c.eng.sleep(milliseconds(6));  // filter lands at 15 ms, before b/c
+    c.eps[0]->multicast(text("b"));
+    c.eng.sleep(milliseconds(1));
+    c.eps[0]->multicast(text("c"));
+  });
+  // Cross the fan-out: member 1 never sees gseq 3, member 2 never sees
+  // gseq 2 (so gseq 3 parks in its holdback queue).
+  c.eng.schedule(milliseconds(15), [&] {
+    c.faults().set_filter([](const net::Packet& p, net::TransportKind) {
+      auto m = WireMsg::decode(p.payload);
+      if (!m.ok() || m.value().kind != MsgKind::kOrder) return false;
+      return (m.value().gseq == 2 && p.dst.host == 2) || (m.value().gseq == 3 && p.dst.host == 1);
+    });
+  });
+  c.eng.schedule(milliseconds(30), [&] { c.net.crash_host(0); });
+  c.eng.schedule(milliseconds(40), [&] { c.faults().set_filter(nullptr); });
+  c.run_for(seconds(1.5));
+
+  const std::vector<std::string> want = {"m0.0:a", "m0.0:b", "m0.0:c"};
+  EXPECT_EQ(c.delivered[1], want);
+  EXPECT_EQ(c.delivered[2], want);
+  EXPECT_GT(c.faults().counters().filter_drops, 0u);
+  EXPECT_EQ(c.eps[1]->view().size(), 2u);
+  EXPECT_EQ(c.eps[1]->view().view_id, c.eps[2]->view().view_id);
+}
+
+// Regression for the hardcoded-incarnation bug: start_founding recorded
+// every founder as incarnation 0, so a host that had already
+// crashed+rebooted before the group formed was listed under a dead
+// identity — its heartbeats never matched the view entry and it was
+// falsely excluded ~250 ms in. The founder must record its own real
+// incarnation, and peers must upgrade their entry on first contact.
+TEST(GroupChaos, FoundingUsesLiveIncarnationOfRebootedHost) {
+  sim::Engine eng;
+  net::Network net{eng};
+  GroupConfig config;
+  for (int i = 0; i < 3; ++i) net.add_host("node" + std::to_string(i));
+  net.crash_host(1);
+  net.host(1)->reboot();
+  ASSERT_EQ(net.host(1)->incarnation(), 1u);
+
+  std::vector<std::vector<std::string>> delivered(3);
+  std::vector<std::vector<View>> views(3);
+  std::vector<std::unique_ptr<GroupEndpoint>> eps;
+  std::vector<net::NetAddr> founders;
+  for (sim::HostId i = 0; i < 3; ++i) founders.push_back({i, config.control_port});
+  for (size_t i = 0; i < 3; ++i) {
+    Callbacks cbs;
+    cbs.on_view = [&views, i](const View& v) { views[i].push_back(v); };
+    cbs.on_message = [&delivered, i](MemberId origin, const util::Bytes& payload) {
+      delivered[i].push_back(origin.to_string() + ":" + untext(payload));
+    };
+    eps.push_back(std::make_unique<GroupEndpoint>(net, *net.host(static_cast<sim::HostId>(i)),
+                                                  config, std::move(cbs)));
+  }
+  for (auto& ep : eps) ep->start_founding(founders);
+  // Multicast from the rebooted host well after the suspect timeout: if
+  // the old identity were still in the view it would be excluded by now.
+  net.host(1)->spawn("sender", [&] {
+    eng.sleep(milliseconds(400));
+    eps[1]->multicast(text("reborn"));
+  });
+  eng.run_for(seconds(1));
+
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(views[i].size(), 1u) << "member " << i << " saw a spurious view change";
+    ASSERT_EQ(delivered[i].size(), 1u) << "member " << i;
+    EXPECT_EQ(delivered[i][0], "m1.1:reborn");
+    EXPECT_EQ(eps[i]->view().size(), 3u);
+    EXPECT_TRUE(eps[i]->view().contains(MemberId{1, 1}));
+    EXPECT_FALSE(eps[i]->view().contains(MemberId{1, 0}));
+  }
+}
+
+// ------------------------------------------------- liveness + safety ----
+
+// A lossy, duplicating, jittery control plane must not lose or reorder
+// group messages: the retransmission machinery (heartbeat-driven ORDER
+// gap repair, ORDER_REQ resubmission) has to deliver every multicast to
+// every member in one agreed order, with the faults still active.
+TEST(GroupChaos, AllDeliverEverythingUnderLossyControlPlane) {
+  ChaosGroup c(4, /*seed=*/2);
+  c.faults().set_transport(net::TransportKind::kTcpIp,
+                           {.drop = 0.05, .duplicate = 0.05, .jitter = sim::microseconds(200)});
+  for (size_t i = 0; i < 4; ++i) {
+    auto* ep = c.eps[i].get();
+    c.net.host(static_cast<sim::HostId>(i))->spawn("sender", [ep, i, &c] {
+      for (int k = 0; k < 5; ++k) {
+        c.eng.sleep(milliseconds(10 + static_cast<int>(i)));
+        ep->multicast(text("m" + std::to_string(i) + "." + std::to_string(k)));
+      }
+    });
+  }
+  c.run_for(seconds(4));
+
+  ASSERT_EQ(c.delivered[0].size(), 20u);
+  for (size_t i = 1; i < 4; ++i) EXPECT_EQ(c.delivered[i], c.delivered[0]) << "member " << i;
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(c.eps[i]->view().size(), 4u) << "member " << i << " falsely excluded someone";
+  }
+  EXPECT_GT(c.faults().counters().datagrams_dropped, 0u);
+  EXPECT_GT(c.faults().counters().datagrams_duplicated, 0u);
+}
+
+// A partition shorter than the suspect timeout must be absorbed without
+// any membership change: messages sequenced during the cut reach the
+// dark side via gap repair, and a multicast stuck on the dark side is
+// resubmitted once the partition heals.
+TEST(GroupChaos, ShortPartitionHealsWithoutViewChange) {
+  ChaosGroup c(4, /*seed=*/3);
+  c.eng.schedule(milliseconds(100), [&] { c.faults().partition({0, 1}, {2, 3}); });
+  c.eng.schedule(milliseconds(220), [&] { c.faults().heal(); });
+  c.net.host(0)->spawn("sender", [&] {
+    c.eng.sleep(milliseconds(110));
+    c.eps[0]->multicast(text("a"));
+    c.eng.sleep(milliseconds(20));
+    c.eps[0]->multicast(text("b"));
+    c.eng.sleep(milliseconds(20));
+    c.eps[0]->multicast(text("c"));
+  });
+  c.net.host(2)->spawn("sender", [&] {
+    c.eng.sleep(milliseconds(130));
+    c.eps[2]->multicast(text("d"));  // ORDER_REQ dies in the partition
+  });
+  c.run_for(seconds(1.5));
+
+  const std::vector<std::string> want = {"m0.0:a", "m0.0:b", "m0.0:c", "m2.0:d"};
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(c.delivered[i], want) << "member " << i;
+    EXPECT_EQ(c.views[i].size(), 1u) << "member " << i << " saw a view change";
+  }
+  EXPECT_GT(c.faults().counters().partition_drops, 0u);
+  EXPECT_FALSE(c.faults().partitioned());
+}
+
+// An asymmetric outage (one member's outbound traffic blackholed) runs
+// the full failure-detection path: the silent member is excluded, keeps
+// running in its stale view, learns of the newer view from heartbeats
+// once traffic flows again (INSTALL_REQ), and rejoins automatically.
+TEST(GroupChaos, SilencedMemberIsExcludedThenRejoins) {
+  ChaosGroup c(4, /*seed=*/4);
+  c.eng.schedule(milliseconds(100), [&] {
+    c.faults().set_filter(
+        [](const net::Packet& p, net::TransportKind) { return p.src.host == 3; });
+  });
+  c.eng.schedule(milliseconds(600), [&] { c.faults().set_filter(nullptr); });
+  c.run_for(milliseconds(600));
+  // The survivors must have excluded the silent member by now.
+  ASSERT_GE(c.views[0].size(), 2u);
+  EXPECT_EQ(c.views[0].back().size(), 3u);
+  EXPECT_FALSE(c.views[0].back().contains(MemberId{3, 0}));
+
+  c.run_for(seconds(2));  // heal; rejoin via INSTALL_REQ + join
+
+  c.net.host(0)->spawn("sender", [&] { c.eps[0]->multicast(text("after")); });
+  c.run_for(milliseconds(200));
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(c.eps[i]->in_view()) << "member " << i;
+    EXPECT_EQ(c.eps[i]->view().size(), 4u) << "member " << i;
+    EXPECT_EQ(c.eps[i]->view().view_id, c.eps[0]->view().view_id) << "member " << i;
+    EXPECT_TRUE(c.eps[i]->view().contains(MemberId{3, 0})) << "member " << i;
+    ASSERT_FALSE(c.delivered[i].empty()) << "member " << i;
+    EXPECT_EQ(c.delivered[i].back(), "m0.0:after") << "member " << i;
+  }
+  EXPECT_GT(c.faults().counters().filter_drops, 0u);
+}
+
+// Membership churn (two late joins and a graceful leave) while the
+// control plane is lossy. Everything converges: one agreed final view,
+// founders deliver the identical full sequence, joiners deliver an
+// order-consistent subsequence (virtual synchrony across the views they
+// were members of), and a post-churn multicast reaches everyone.
+TEST(GroupChaos, ChurnUnderFaultsConverges) {
+  ChaosGroup c(3, /*seed=*/5);
+  c.faults().set_transport(net::TransportKind::kTcpIp,
+                           {.drop = 0.03, .duplicate = 0.03, .jitter = sim::microseconds(100)});
+  auto h3 = c.net.add_host("node3");
+  auto h4 = c.net.add_host("node4");
+  std::vector<std::vector<std::string>> jdelivered(2);
+  std::vector<std::unique_ptr<GroupEndpoint>> joiners;
+  for (size_t j = 0; j < 2; ++j) {
+    Callbacks cbs;
+    cbs.on_view = [](const View&) {};
+    cbs.on_message = [&jdelivered, j](MemberId origin, const util::Bytes& payload) {
+      jdelivered[j].push_back(origin.to_string() + ":" + untext(payload));
+    };
+    joiners.push_back(
+        std::make_unique<GroupEndpoint>(c.net, j == 0 ? *h3 : *h4, c.config, std::move(cbs)));
+  }
+  const std::vector<net::NetAddr> seeds = {
+      {0, c.config.control_port}, {1, c.config.control_port}, {2, c.config.control_port}};
+  c.eng.schedule(milliseconds(200), [&] { joiners[0]->start_joining(seeds); });
+  c.eng.schedule(milliseconds(500), [&] { joiners[1]->start_joining(seeds); });
+  c.eng.schedule(milliseconds(800), [&] {
+    c.net.host(2)->spawn("leaver", [&] { c.eps[2]->leave(); });
+  });
+  c.net.host(0)->spawn("sender", [&] {
+    for (int k = 0; k < 16; ++k) {
+      c.eng.sleep(milliseconds(40));
+      c.eps[0]->multicast(text("m" + std::to_string(k)));
+    }
+  });
+  c.run_for(seconds(4));
+  c.faults().clear();  // let stragglers settle on a clean fabric
+  c.run_for(seconds(1));
+  c.net.host(0)->spawn("sender2", [&] { c.eps[0]->multicast(text("final")); });
+  c.run_for(milliseconds(200));
+
+  ASSERT_EQ(c.delivered[0].size(), 17u);
+  EXPECT_EQ(c.delivered[1], c.delivered[0]);
+  for (size_t j = 0; j < 2; ++j) {
+    EXPECT_TRUE(is_subsequence(jdelivered[j], c.delivered[0])) << "joiner " << j;
+    ASSERT_FALSE(jdelivered[j].empty()) << "joiner " << j;
+    EXPECT_EQ(jdelivered[j].back(), "m0.0:final") << "joiner " << j;
+  }
+  const View& final_view = c.eps[0]->view();
+  EXPECT_EQ(final_view.size(), 4u);
+  EXPECT_FALSE(final_view.contains(MemberId{2, 0}));
+  EXPECT_TRUE(final_view.contains(MemberId{3, 0}));
+  EXPECT_TRUE(final_view.contains(MemberId{4, 0}));
+  EXPECT_EQ(c.eps[1]->view().view_id, final_view.view_id);
+  EXPECT_EQ(joiners[0]->view().view_id, final_view.view_id);
+  EXPECT_EQ(joiners[1]->view().view_id, final_view.view_id);
+  EXPECT_GT(c.faults().counters().total(), 0u);
+}
+
+// ------------------------------------------------------- determinism ----
+
+struct GroupRun {
+  std::vector<std::string> trace;
+  std::vector<std::string> delivered;
+  sim::Time end;
+  net::FaultCounters counters;
+};
+
+GroupRun lossy_group_run(uint64_t seed) {
+  ChaosGroup c(3, seed);
+  c.faults().set_transport(net::TransportKind::kTcpIp,
+                           {.drop = 0.08, .duplicate = 0.05, .jitter = sim::microseconds(300)});
+  for (size_t i = 0; i < 3; ++i) {
+    auto* ep = c.eps[i].get();
+    c.net.host(static_cast<sim::HostId>(i))->spawn("sender", [ep, i, &c] {
+      for (int k = 0; k < 4; ++k) {
+        c.eng.sleep(milliseconds(15 + static_cast<int>(i)));
+        ep->multicast(text("m" + std::to_string(i) + "." + std::to_string(k)));
+      }
+    });
+  }
+  c.run_for(seconds(3));
+  return {c.faults().trace(), c.delivered[0], c.eng.now(), c.faults().counters()};
+}
+
+TEST(GroupChaos, SameSeedReplaysIdenticalFaultTrace) {
+  const GroupRun a = lossy_group_run(42);
+  const GroupRun b = lossy_group_run(42);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.end, b.end);
+  EXPECT_EQ(a.counters.total(), b.counters.total());
+  ASSERT_FALSE(a.trace.empty());
+
+  const GroupRun d = lossy_group_run(43);
+  EXPECT_NE(a.trace, d.trace) << "different seeds produced the same fault schedule";
+}
+
+}  // namespace
+}  // namespace starfish::gcs
+
+// ==================================================== cluster level ====
+
+namespace starfish::core {
+namespace {
+
+using daemon::CkptLevel;
+using daemon::CrProtocol;
+using daemon::FtPolicy;
+using daemon::JobSpec;
+using sim::milliseconds;
+using sim::seconds;
+
+std::string ring_program(int rounds, int spin) {
+  return R"(
+func main 0 2
+  syscall rank
+  store_local 0
+  syscall world_size
+  store_local 1
+  push_int 0
+  store_global 0
+  push_int 0
+  store_global 1
+loop:
+  load_global 0
+  push_int )" + std::to_string(rounds) + R"(
+  ge
+  jmp_if_false body
+  jmp done
+body:
+  push_int )" + std::to_string(spin) + R"(
+  syscall spin
+  load_local 0
+  push_int 0
+  eq
+  jmp_if_false relay
+  push_int 1
+  load_global 1
+  syscall send_to
+  push_int -1
+  syscall recv_from
+  store_global 1
+  load_global 0
+  push_int 1
+  add
+  store_global 0
+  jmp loop
+relay:
+  push_int -1
+  syscall recv_from
+  load_local 0
+  add
+  store_global 1
+  load_local 0
+  push_int 1
+  add
+  load_local 1
+  mod
+  load_global 1
+  syscall send_to
+  load_global 0
+  push_int 1
+  add
+  store_global 0
+  jmp loop
+done:
+  load_local 0
+  push_int 0
+  eq
+  jmp_if_false finish
+  load_global 1
+  syscall print
+finish:
+  halt
+)";
+}
+
+int64_t expected_token(uint32_t n, int rounds) {
+  int64_t per = 0;
+  for (uint32_t r = 1; r < n; ++r) per += r;
+  return per * rounds;
+}
+
+bool output_contains(const std::vector<std::string>& lines, const std::string& needle) {
+  return std::any_of(lines.begin(), lines.end(),
+                     [&](const std::string& l) { return l.find(needle) != std::string::npos; });
+}
+
+/// The standard chaos plan: a lossy, duplicating, jittery control plane
+/// and a delay/jitter-only data plane. The BIP data path has no
+/// retransmission layer (the paper's Myrinet is assumed reliable), so
+/// chaos may slow it down but not lose from it — loss there is modelled
+/// at the node level by crash_node.
+void apply_chaos_plan(Cluster& cluster) {
+  cluster.faults().set_transport(
+      net::TransportKind::kTcpIp,
+      {.drop = 0.02, .duplicate = 0.02, .jitter = sim::microseconds(100)});
+  cluster.faults().set_transport(
+      net::TransportKind::kBipMyrinet,
+      {.delay = sim::microseconds(10), .jitter = sim::microseconds(100)});
+}
+
+JobSpec ring_job(const std::string& name, uint32_t nprocs, CrProtocol protocol) {
+  JobSpec j;
+  j.name = name;
+  j.binary = "ring";
+  j.nprocs = nprocs;
+  j.policy = FtPolicy::kRestart;
+  j.protocol = protocol;
+  j.level = CkptLevel::kVm;
+  j.ckpt_interval = milliseconds(50);
+  return j;
+}
+
+// Sanity for the byte-identity claim: a cluster that never touches the
+// fault API must never consult the RNG or count anything.
+TEST(ClusterChaos, FaultFreeRunDrawsNoFaults) {
+  ClusterOptions opts;
+  opts.nodes = 3;
+  Cluster cluster(std::move(opts));
+  cluster.registry().register_vm("ring", ring_program(10, 20000));
+  cluster.submit(ring_job("clean", 3, CrProtocol::kStopAndSync));
+  ASSERT_TRUE(cluster.run_until_done("clean"));
+  EXPECT_FALSE(cluster.faults().enabled());
+  EXPECT_EQ(cluster.faults().counters().total(), 0u);
+  EXPECT_TRUE(cluster.faults().trace().empty());
+}
+
+struct SweepParam {
+  uint64_t seed;
+  CrProtocol protocol;
+  const char* name;
+};
+
+class ChaosSweep : public ::testing::TestWithParam<SweepParam> {};
+
+// The headline chaos assertion: under the standard chaos plan plus a
+// mid-run node crash, every C/R protocol still drives the ring app to
+// completion with the analytically known (fault-free) answer.
+TEST_P(ChaosSweep, RingSurvivesFaultsAndNodeCrash) {
+  const SweepParam p = GetParam();
+  ClusterOptions opts;
+  opts.nodes = 4;
+  opts.seed = p.seed;
+  Cluster cluster(std::move(opts));
+  cluster.registry().register_vm("ring", ring_program(40, 100000));
+  cluster.boot();
+  apply_chaos_plan(cluster);
+  cluster.submit(ring_job("chaos", 4, p.protocol));
+  cluster.run_for(milliseconds(150));
+  cluster.crash_node(2);
+  ASSERT_TRUE(cluster.run_until_done("chaos", seconds(240.0)));
+  EXPECT_TRUE(output_contains(cluster.output("chaos"), std::to_string(expected_token(4, 40))));
+  EXPECT_GT(cluster.faults().counters().total(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsByProtocol, ChaosSweep,
+    ::testing::Values(SweepParam{1, CrProtocol::kStopAndSync, "Seed1StopAndSync"},
+                      SweepParam{2, CrProtocol::kStopAndSync, "Seed2StopAndSync"},
+                      SweepParam{3, CrProtocol::kStopAndSync, "Seed3StopAndSync"},
+                      SweepParam{1, CrProtocol::kChandyLamport, "Seed1ChandyLamport"},
+                      SweepParam{2, CrProtocol::kChandyLamport, "Seed2ChandyLamport"},
+                      SweepParam{3, CrProtocol::kChandyLamport, "Seed3ChandyLamport"},
+                      SweepParam{1, CrProtocol::kUncoordinated, "Seed1Uncoordinated"},
+                      SweepParam{2, CrProtocol::kUncoordinated, "Seed2Uncoordinated"},
+                      SweepParam{3, CrProtocol::kUncoordinated, "Seed3Uncoordinated"}),
+    [](const ::testing::TestParamInfo<SweepParam>& info) { return info.param.name; });
+
+struct ClusterRun {
+  std::vector<std::string> output;
+  std::vector<std::string> trace;
+  sim::Time end;
+};
+
+ClusterRun chaos_cluster_run(uint64_t seed) {
+  ClusterOptions opts;
+  opts.nodes = 4;
+  opts.seed = seed;
+  Cluster cluster(std::move(opts));
+  cluster.registry().register_vm("ring", ring_program(30, 100000));
+  cluster.boot();
+  apply_chaos_plan(cluster);
+  cluster.submit(ring_job("replay", 4, CrProtocol::kChandyLamport));
+  cluster.run_for(milliseconds(150));
+  cluster.crash_node(2);
+  EXPECT_TRUE(cluster.run_until_done("replay", seconds(240.0)));
+  return {cluster.output("replay"), cluster.faults().trace(), cluster.engine().now()};
+}
+
+// Whole-stack determinism: the same seed replays the identical fault
+// schedule, the identical application output and the identical virtual
+// end time; a different seed diverges.
+TEST(ClusterChaos, SameSeedReplaysIdenticalRun) {
+  const ClusterRun a = chaos_cluster_run(7);
+  const ClusterRun b = chaos_cluster_run(7);
+  EXPECT_EQ(a.output, b.output);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.end, b.end);
+  ASSERT_FALSE(a.trace.empty());
+
+  const ClusterRun d = chaos_cluster_run(8);
+  EXPECT_NE(a.trace, d.trace) << "different seeds produced the same fault schedule";
+}
+
+}  // namespace
+}  // namespace starfish::core

@@ -459,8 +459,8 @@ TEST(Recovery, OrphanForcesReceiverBack) {
   // taken? no: interval 2 follows checkpoint 2) — dep (0,2) with line(0)=2
   // means orphan, p1 must fall back to checkpoint 1.
   std::vector<CheckpointMeta> metas = {
-      {1, 2, {{0, 2}}},
-      {1, 1, {}},
+      {1, 2, {{0, 2}}, {}},
+      {1, 1, {}, {}},
   };
   std::map<uint32_t, uint32_t> latest = {{0, 2}, {1, 2}};
   auto line = compute_recovery_line(metas, latest);
@@ -472,7 +472,7 @@ TEST(Recovery, OrphanForcesReceiverBack) {
 TEST(Recovery, SatisfiedDependencyNeedsNoRollback) {
   // Message sent in p0's interval 1 and p0 restores at checkpoint 2 (> 1):
   // the send is retained, no orphan.
-  std::vector<CheckpointMeta> metas = {{1, 2, {{0, 1}}}};
+  std::vector<CheckpointMeta> metas = {{1, 2, {{0, 1}}, {}}};
   std::map<uint32_t, uint32_t> latest = {{0, 2}, {1, 2}};
   auto line = compute_recovery_line(metas, latest);
   EXPECT_EQ(line[0], 2u);
@@ -484,8 +484,8 @@ TEST(Recovery, CascadeAcrossThreeProcesses) {
   // checkpoint 2 depends on p0's interval 1 while p0 only saved checkpoint 1
   // => p1 falls to 1 => p2's dep (1,2) becomes orphan => p2 falls too.
   std::vector<CheckpointMeta> metas = {
-      {2, 3, {{1, 2}}}, {2, 2, {{1, 1}}}, {2, 1, {}},
-      {1, 2, {{0, 1}}}, {1, 1, {{0, 0}}},
+      {2, 3, {{1, 2}}, {}}, {2, 2, {{1, 1}}, {}}, {2, 1, {}, {}},
+      {1, 2, {{0, 1}}, {}}, {1, 1, {{0, 0}}, {}},
   };
   std::map<uint32_t, uint32_t> latest = {{0, 1}, {1, 2}, {2, 3}};
   auto line = compute_recovery_line(metas, latest);
@@ -501,14 +501,60 @@ TEST(Recovery, DominoEffectToInitialState) {
   // the way to the initial state.
   std::vector<CheckpointMeta> metas;
   for (uint32_t c = 1; c <= 4; ++c) {
-    metas.push_back({0, c, {{1, c - 1}, {1, c}}});
-    metas.push_back({1, c, {{0, c - 1}, {0, c}}});
+    metas.push_back({0, c, {{1, c - 1}, {1, c}}, {}});
+    metas.push_back({1, c, {{0, c - 1}, {0, c}}, {}});
   }
   // Process 1 failed and its checkpoint 4 is unusable: latest saved is 3.
   std::map<uint32_t, uint32_t> latest = {{0, 4}, {1, 3}};
   auto line = compute_recovery_line(metas, latest);
   EXPECT_EQ(line[0], 0u);
   EXPECT_EQ(line[1], 0u);
+}
+
+TEST(Recovery, LostMessageRollsSenderBack) {
+  // Distilled from the chaos sweep: a ring where rank 2 died before its
+  // first checkpoint. Rank 1's checkpoints remember sending the round-1
+  // token to rank 2, but rank 2 restarts from its initial state — the token
+  // is lost, so rank 1 (and transitively rank 0) must roll back past the
+  // send or the restored ring deadlocks. The orphan rule alone never fires
+  // here (rank 2 stored no receives at all).
+  std::vector<CheckpointMeta> metas = {
+      {0, 1, {}, {{1, 1}}},       // rank 0 sent the token to rank 1...
+      {1, 1, {{0, 0}}, {{2, 1}}}, // ...rank 1 consumed it and relayed to 2
+  };
+  std::map<uint32_t, uint32_t> latest = {{0, 1}, {1, 1}, {2, 0}, {3, 0}};
+  auto line = compute_recovery_line(metas, latest);
+  EXPECT_EQ(line[1], 0u);  // lost send to rank 2 undone
+  EXPECT_EQ(line[0], 0u);  // cascades: its send to rank 1 is now lost too
+  EXPECT_EQ(line[2], 0u);
+}
+
+TEST(Recovery, SatisfiedSendCountsNeedNoRollback) {
+  // Every message rank 0's checkpoint remembers sending is matched by a
+  // consumed receive in rank 1's checkpoint: nothing is lost, the latest
+  // checkpoints stand.
+  std::vector<CheckpointMeta> metas = {
+      {0, 1, {}, {{1, 2}}},
+      {1, 1, {{0, 0}, {0, 0}}, {}},
+  };
+  std::map<uint32_t, uint32_t> latest = {{0, 1}, {1, 1}};
+  auto line = compute_recovery_line(metas, latest);
+  EXPECT_EQ(line[0], 1u);
+  EXPECT_EQ(line[1], 1u);
+}
+
+TEST(Recovery, LostMessageResolvedByEarlierSenderCheckpoint) {
+  // The sender's newest checkpoint over-sends but its previous one does
+  // not: the line backs the sender up exactly one step, not to zero.
+  std::vector<CheckpointMeta> metas = {
+      {0, 2, {}, {{1, 2}}},
+      {0, 1, {}, {{1, 1}}},
+      {1, 1, {{0, 0}}, {}},
+  };
+  std::map<uint32_t, uint32_t> latest = {{0, 2}, {1, 1}};
+  auto line = compute_recovery_line(metas, latest);
+  EXPECT_EQ(line[0], 1u);
+  EXPECT_EQ(line[1], 1u);
 }
 
 TEST(Recovery, TrackerPiggybackAndCut) {
@@ -532,9 +578,310 @@ TEST(Recovery, TrackerEncodeDecodeRoundtrip) {
   t.on_recv({3, 4});
   (void)t.cut_checkpoint();
   auto decoded = DependencyTracker::decode(t.encode());
-  EXPECT_EQ(decoded.rank(), 7u);
-  EXPECT_EQ(decoded.current_interval(), 1u);
-  EXPECT_EQ(decoded.encode(), t.encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().rank(), 7u);
+  EXPECT_EQ(decoded.value().current_interval(), 1u);
+  EXPECT_EQ(decoded.value().encode(), t.encode());
+}
+
+// Regression: decode used to trust the announced dependency count and fill
+// truncated reads with value_or(0), silently fabricating an empty (or
+// zeroed) dependency set from a corrupt buffer. A dependency set invented
+// this way would unconstrain the recovery line. Now every truncation
+// surfaces as an error.
+TEST(Recovery, TrackerDecodeRejectsTruncatedBuffer) {
+  DependencyTracker t(3);
+  t.on_recv({1, 5});
+  t.on_recv({2, 6});
+  (void)t.cut_checkpoint();
+  const util::Bytes full = t.encode();
+
+  // Every strict prefix must fail, not decode to a tracker missing deps.
+  for (size_t len = 0; len < full.size(); ++len) {
+    util::Bytes cut(full.begin(), full.begin() + static_cast<long>(len));
+    auto r = DependencyTracker::decode(cut);
+    EXPECT_FALSE(r.ok()) << "prefix of " << len << " bytes decoded";
+  }
+  EXPECT_TRUE(DependencyTracker::decode(full).ok());
+}
+
+// Regression: an over-announced count (header claims more entries than the
+// buffer holds) must be rejected up front rather than half-read.
+TEST(Recovery, TrackerDecodeRejectsOverAnnouncedCount) {
+  util::Bytes buf;
+  util::Writer w(buf);
+  w.u32(1);           // rank
+  w.u32(1);           // interval
+  w.u32(0xffffffff);  // announced entries: nowhere near present
+  w.u32(9);           // one lonely half-entry
+  auto r = DependencyTracker::decode(buf);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "decode");
+}
+
+// Trailing garbage after a well-formed tracker is corruption too.
+TEST(Recovery, TrackerDecodeRejectsTrailingBytes) {
+  DependencyTracker t(1);
+  (void)t.cut_checkpoint();
+  util::Bytes buf = t.encode();
+  buf.push_back(std::byte{0xab});
+  EXPECT_FALSE(DependencyTracker::decode(buf).ok());
+}
+
+TEST(Recovery, TrackerSendCountsRoundtrip) {
+  DependencyTracker t(2);
+  t.note_send(0);
+  t.note_send(1);
+  t.note_send(1);
+  t.on_recv({0, 0});
+  (void)t.cut_checkpoint();
+  auto decoded = DependencyTracker::decode(t.encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().rank(), 2u);
+  EXPECT_EQ(decoded.value().sent(), (std::map<uint32_t, uint32_t>{{0, 1}, {1, 2}}));
+  EXPECT_EQ(decoded.value().received(), t.received());
+  EXPECT_EQ(decoded.value().encode(), t.encode());
+}
+
+// With sends recorded the layout flag commits the blob to carrying the
+// send-count section: truncating it anywhere — including cleanly dropping
+// the whole section — must fail instead of decoding to "sent nothing"
+// (which would erase lost-message constraints and under-roll the line).
+TEST(Recovery, TrackerDecodeRejectsTruncatedSendSection) {
+  DependencyTracker t(2);
+  t.note_send(0);
+  t.on_recv({1, 3});
+  (void)t.cut_checkpoint();
+  const util::Bytes full = t.encode();
+  for (size_t len = 0; len < full.size(); ++len) {
+    util::Bytes cut(full.begin(), full.begin() + static_cast<long>(len));
+    EXPECT_FALSE(DependencyTracker::decode(cut).ok()) << "prefix of " << len << " bytes decoded";
+  }
+  EXPECT_TRUE(DependencyTracker::decode(full).ok());
+}
+
+// A blob without the layout flag (e.g. written before send tracking, or by
+// a tracker that never sent) still decodes, with an empty send ledger.
+TEST(Recovery, TrackerDecodeAcceptsLegacyLayoutWithoutSends) {
+  util::Bytes buf;
+  util::Writer w(buf);
+  w.u32(4);  // rank, flag bit clear
+  w.u32(2);  // interval
+  w.u32(1);  // one dependency
+  w.u32(0);
+  w.u32(1);
+  auto r = DependencyTracker::decode(buf);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().sent().empty());
+  ASSERT_EQ(r.value().received().size(), 1u);
+}
+
+// The send-count section's announced length is validated like the
+// dependency count: an over-announcing header is rejected up front.
+TEST(Recovery, TrackerDecodeRejectsOverAnnouncedSendCount) {
+  DependencyTracker t(1);
+  t.note_send(0);
+  util::Bytes buf = t.encode();
+  // Patch the send-section count (last 12 bytes: count, peer, count).
+  buf[buf.size() - 12] = std::byte{0xff};
+  buf[buf.size() - 11] = std::byte{0xff};
+  auto r = DependencyTracker::decode(buf);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "decode");
+}
+
+// ---- recovery-line property test -----------------------------------------
+//
+// Consistent cuts are closed under componentwise max: if cuts A and B are
+// both consistent, so is max(A, B) (every dependency satisfied in A or B is
+// still satisfied when every component only grows). The set of consistent
+// cuts therefore has a unique maximum — and compute_recovery_line must find
+// exactly it. On small random instances we can brute-force that maximum by
+// enumerating every cut and compare.
+
+bool cut_consistent(const std::map<std::pair<uint32_t, uint32_t>, std::vector<IntervalId>>& deps,
+                    const std::map<uint32_t, uint32_t>& cut) {
+  for (const auto& [rank, index] : cut) {
+    auto it = deps.find({rank, index});
+    if (it == deps.end()) continue;  // index 0 or no recorded deps
+    for (const auto& d : it->second) {
+      auto peer = cut.find(d.rank);
+      if (peer == cut.end()) continue;
+      if (d.interval >= peer->second) return false;  // orphan receive
+    }
+  }
+  return true;
+}
+
+TEST(Recovery, LineIsConsistentAndMaximalOnRandomGraphs) {
+  util::Rng rng(0x11e7);  // fixed seed: deterministic corpus
+  for (int trial = 0; trial < 200; ++trial) {
+    const uint32_t procs = 2 + static_cast<uint32_t>(rng.below(3));  // 2..4
+    std::map<uint32_t, uint32_t> latest;
+    std::vector<CheckpointMeta> metas;
+    std::map<std::pair<uint32_t, uint32_t>, std::vector<IntervalId>> deps;
+    for (uint32_t p = 0; p < procs; ++p) {
+      latest[p] = static_cast<uint32_t>(rng.below(4));  // 0..3 checkpoints
+      for (uint32_t c = 1; c <= latest[p]; ++c) {
+        CheckpointMeta m;
+        m.rank = p;
+        m.index = c;
+        const uint32_t ndeps = static_cast<uint32_t>(rng.below(4));
+        for (uint32_t d = 0; d < ndeps; ++d) {
+          uint32_t q = static_cast<uint32_t>(rng.below(procs));
+          if (q == p) continue;
+          m.depends_on.push_back(
+              IntervalId{q, static_cast<uint32_t>(rng.below(4))});
+        }
+        // Dependency sets are cumulative in the tracker: checkpoint c sees
+        // everything c-1 saw.
+        auto prev = deps.find({p, c - 1});
+        if (prev != deps.end()) {
+          m.depends_on.insert(m.depends_on.end(), prev->second.begin(), prev->second.end());
+        }
+        deps[{p, c}] = m.depends_on;
+        metas.push_back(std::move(m));
+      }
+    }
+
+    const auto line = compute_recovery_line(metas, latest);
+
+    // Brute-force the componentwise-max (join) of all consistent cuts.
+    std::map<uint32_t, uint32_t> best;  // join accumulator
+    for (uint32_t p = 0; p < procs; ++p) best[p] = 0;
+    std::map<uint32_t, uint32_t> cut = best;
+    for (;;) {
+      if (cut_consistent(deps, cut)) {
+        for (auto& [p, c] : best) c = std::max(c, cut[p]);
+      }
+      // Odometer increment over 0..latest[p] per rank.
+      uint32_t p = 0;
+      for (; p < procs; ++p) {
+        if (cut[p] < latest[p]) {
+          ++cut[p];
+          for (uint32_t q = 0; q < p; ++q) cut[q] = 0;
+          break;
+        }
+      }
+      if (p == procs) break;
+    }
+
+    ASSERT_TRUE(cut_consistent(deps, line)) << "trial " << trial;
+    EXPECT_EQ(line, best) << "trial " << trial;  // the unique maximum cut
+  }
+}
+
+// Full consistency (orphans AND lost messages) against a set of metas, with
+// the same lookup conventions as compute_recovery_line: index 0 and missing
+// metas carry no dependencies and no sends.
+bool cut_fully_consistent(const std::vector<CheckpointMeta>& metas,
+                          const std::map<uint32_t, uint32_t>& cut) {
+  std::map<std::pair<uint32_t, uint32_t>, const CheckpointMeta*> by_key;
+  for (const auto& m : metas) by_key[{m.rank, m.index}] = &m;
+  auto meta_of = [&](uint32_t rank, uint32_t index) -> const CheckpointMeta* {
+    if (index == 0) return nullptr;
+    auto it = by_key.find({rank, index});
+    return it == by_key.end() ? nullptr : it->second;
+  };
+  for (const auto& [rank, index] : cut) {
+    const auto* m = meta_of(rank, index);
+    if (m == nullptr) continue;
+    for (const auto& d : m->depends_on) {
+      auto peer = cut.find(d.rank);
+      if (peer != cut.end() && d.interval >= peer->second) return false;  // orphan
+    }
+    for (const auto& [peer, sent_count] : m->sent) {
+      auto it = cut.find(peer);
+      if (it == cut.end()) continue;
+      uint32_t consumed = 0;
+      const auto* pm = meta_of(peer, it->second);
+      if (pm != nullptr) {
+        for (const auto& d : pm->depends_on) {
+          if (d.rank == rank) ++consumed;
+        }
+      }
+      if (sent_count > consumed) return false;  // lost message
+    }
+  }
+  return true;
+}
+
+// Simulated message histories: random processes exchange real messages
+// (each send eventually delivered or still in flight) and checkpoint at
+// random moments, recording exactly what DependencyTracker records. The
+// computed line must match the brute-forced maximum fully-consistent cut —
+// and restoring it must lose no delivered-but-unsent message.
+TEST(Recovery, LineIsMaximalOnSimulatedMessageHistories) {
+  util::Rng rng(0xd031);  // fixed seed: deterministic corpus
+  for (int trial = 0; trial < 200; ++trial) {
+    const uint32_t procs = 2 + static_cast<uint32_t>(rng.below(3));  // 2..4
+    std::vector<DependencyTracker> trackers;
+    for (uint32_t p = 0; p < procs; ++p) trackers.emplace_back(p);
+    struct InFlight {
+      uint32_t dst;
+      IntervalId tag;
+      uint32_t deliver_at;  // step index
+    };
+    std::vector<InFlight> flying;
+    std::vector<CheckpointMeta> metas;
+    std::map<uint32_t, uint32_t> latest;
+    for (uint32_t p = 0; p < procs; ++p) latest[p] = 0;
+
+    const uint32_t steps = 20 + static_cast<uint32_t>(rng.below(20));
+    for (uint32_t step = 0; step < steps; ++step) {
+      // Deliveries scheduled for this step.
+      for (auto it = flying.begin(); it != flying.end();) {
+        if (it->deliver_at == step) {
+          trackers[it->dst].on_recv(it->tag);
+          it = flying.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      const uint32_t p = static_cast<uint32_t>(rng.below(procs));
+      if (rng.chance(0.25)) {
+        // p takes an independent checkpoint.
+        auto& t = trackers[p];
+        const auto [index, deps] = t.cut_checkpoint();
+        metas.push_back({p, index, deps, t.sent()});
+        latest[p] = index;
+      } else {
+        // p sends one message; it lands 1..6 steps later (possibly never:
+        // past the horizon = in flight at every cut).
+        uint32_t q;
+        do {
+          q = static_cast<uint32_t>(rng.below(procs));
+        } while (q == p);
+        auto& t = trackers[p];
+        flying.push_back({q, t.on_send(), step + 1 + static_cast<uint32_t>(rng.below(6))});
+        t.note_send(q);
+      }
+    }
+
+    const auto line = compute_recovery_line(metas, latest);
+
+    // Brute-force the join of all fully-consistent cuts.
+    std::map<uint32_t, uint32_t> best;
+    for (uint32_t p = 0; p < procs; ++p) best[p] = 0;
+    std::map<uint32_t, uint32_t> cut = best;
+    for (;;) {
+      if (cut_fully_consistent(metas, cut)) {
+        for (auto& [p, c] : best) c = std::max(c, cut[p]);
+      }
+      uint32_t p = 0;
+      for (; p < procs; ++p) {
+        if (cut[p] < latest[p]) {
+          ++cut[p];
+          for (uint32_t q = 0; q < p; ++q) cut[q] = 0;
+          break;
+        }
+      }
+      if (p == procs) break;
+    }
+
+    ASSERT_TRUE(cut_fully_consistent(metas, line)) << "trial " << trial;
+    EXPECT_EQ(line, best) << "trial " << trial;  // the unique maximum cut
+  }
 }
 
 }  // namespace
