@@ -8,11 +8,13 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/cluster.hpp"
+#include "obs/obs.hpp"
 #include "util/strings.hpp"
 
 namespace starfish::benchutil {
@@ -49,14 +51,29 @@ struct JsonRun {
   uint64_t faults = 0;   ///< injected-fault events (chaos runs only)
 };
 
+/// Scans argv for `flag FILE` and returns the FILE value ("" when the flag
+/// is absent). A trailing flag with no FILE is a usage error, not a silent
+/// no-op: the caller asked for output and would otherwise get none, so fail
+/// loudly instead of letting a script read a stale file.
+inline std::string flag_value(int argc, char** argv, const char* flag) {
+  std::string value;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) != flag) continue;
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "usage: %s: %s requires a FILE argument\n",
+                   argc > 0 ? argv[0] : "bench", flag);
+      std::exit(2);
+    }
+    value = argv[i + 1];
+  }
+  return value;
+}
+
 class JsonReporter {
  public:
-  /// Scans argv for "--json FILE"; stays disabled when absent.
-  JsonReporter(int argc, char** argv) {
-    for (int i = 1; i + 1 < argc; ++i) {
-      if (std::string(argv[i]) == "--json") path_ = argv[i + 1];
-    }
-  }
+  /// Scans argv for "--json FILE"; stays disabled when absent. A trailing
+  /// "--json" with no FILE exits with a usage error.
+  JsonReporter(int argc, char** argv) : path_(flag_value(argc, argv, "--json")) {}
 
   bool enabled() const { return !path_.empty(); }
   void add(JsonRun run) { runs_.push_back(std::move(run)); }
@@ -82,12 +99,10 @@ class JsonReporter {
                    static_cast<unsigned long long>(r.host_ns),
                    static_cast<unsigned long long>(r.sim_ns),
                    static_cast<unsigned long long>(r.events), eps);
-      // Key present only on chaos runs, so fault-free output stays
-      // byte-identical across the introduction of fault injection.
-      if (r.faults > 0) {
-        std::fprintf(f, ", \"faults\": %llu", static_cast<unsigned long long>(r.faults));
-      }
-      std::fprintf(f, "}");
+      // Always present: a schema that grows keys only when they are nonzero
+      // forces every consumer to special-case the absent key, and "faults: 0"
+      // on a clean run is itself the datum (nothing was injected).
+      std::fprintf(f, ", \"faults\": %llu}", static_cast<unsigned long long>(r.faults));
     }
     std::fprintf(f, "\n]}\n");
     std::fclose(f);
@@ -106,6 +121,54 @@ class JsonReporter {
 
   std::string path_;
   std::vector<JsonRun> runs_;
+};
+
+/// Opt-in observability for the benches: `--metrics FILE` dumps the obs
+/// metrics registry as JSON, `--trace FILE` additionally enables the tracer
+/// and dumps a Chrome trace_event file (load it in Perfetto or
+/// chrome://tracing). Installs its Hub as the process default so every
+/// Engine the bench creates — however deep inside a run function — records
+/// into it. Both flags fail loudly when the FILE argument is missing. With
+/// neither flag present no hub is installed and the bench runs exactly as
+/// before, byte for byte.
+class MetricsReporter {
+ public:
+  MetricsReporter(int argc, char** argv)
+      : metrics_path_(flag_value(argc, argv, "--metrics")),
+        trace_path_(flag_value(argc, argv, "--trace")) {
+    if (enabled()) {
+      if (!trace_path_.empty()) hub_.tracer.set_enabled(true);
+      obs::set_default_hub(&hub_);
+    }
+  }
+  ~MetricsReporter() {
+    if (enabled() && obs::default_hub() == &hub_) obs::set_default_hub(nullptr);
+  }
+  MetricsReporter(const MetricsReporter&) = delete;
+  MetricsReporter& operator=(const MetricsReporter&) = delete;
+
+  bool enabled() const { return !metrics_path_.empty() || !trace_path_.empty(); }
+  obs::Hub& hub() { return hub_; }
+
+  /// Writes whichever outputs were requested. Returns false (after perror)
+  /// if a file cannot be written.
+  bool write() {
+    bool ok = true;
+    if (!metrics_path_.empty() && !hub_.metrics.write_json(metrics_path_)) {
+      std::perror(("bench --metrics: " + metrics_path_).c_str());
+      ok = false;
+    }
+    if (!trace_path_.empty() && !hub_.tracer.write_chrome_json(trace_path_)) {
+      std::perror(("bench --trace: " + trace_path_).c_str());
+      ok = false;
+    }
+    return ok;
+  }
+
+ private:
+  std::string metrics_path_;
+  std::string trace_path_;
+  obs::Hub hub_;
 };
 
 /// VM token-ring program used by several benches; `rounds` circulations with

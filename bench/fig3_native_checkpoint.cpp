@@ -55,6 +55,7 @@ double run_once(uint64_t file_bytes, uint32_t nodes, benchutil::JsonReporter& js
 
 int main(int argc, char** argv) {
   benchutil::JsonReporter json(argc, argv);
+  benchutil::MetricsReporter metrics(argc, argv);
   benchutil::header(
       "Figure 3: native (homogeneous) checkpoint time vs data size, stop-and-sync");
   std::printf("paper anchors: 632 KB -> 0.104061 s (1 node), 0.131898 s (2), 0.149219 s (4);\n"
@@ -74,5 +75,6 @@ int main(int argc, char** argv) {
   }
   std::printf("\nshape checks: linear growth with size; per-node coordination overhead\n"
               "adds a size-independent term that grows with the node count.\n");
-  return json.write("fig3_native_checkpoint") ? 0 : 1;
+  const bool ok = json.write("fig3_native_checkpoint");
+  return metrics.write() && ok ? 0 : 1;
 }

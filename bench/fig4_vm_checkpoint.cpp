@@ -47,6 +47,7 @@ double run_once(uint64_t file_bytes, uint32_t nodes, benchutil::JsonReporter& js
 
 int main(int argc, char** argv) {
   benchutil::JsonReporter json(argc, argv);
+  benchutil::MetricsReporter metrics(argc, argv);
   benchutil::header(
       "Figure 4: VM-level (heterogeneous) checkpoint time vs data size, stop-and-sync");
   std::printf("paper anchors: 260 KB -> 0.0077 s (1 node), 0.0205 s (2), 0.052 s (4);\n"
@@ -67,5 +68,6 @@ int main(int argc, char** argv) {
   std::printf("\nshape checks: much smaller base than Figure 3 (no run-time image is\n"
               "saved) and a steeper relative impact of multi-node coordination at\n"
               "small sizes, exactly as in the paper.\n");
-  return json.write("fig4_vm_checkpoint") ? 0 : 1;
+  const bool ok = json.write("fig4_vm_checkpoint");
+  return metrics.write() && ok ? 0 : 1;
 }

@@ -69,6 +69,7 @@ double measure_rtt_us(net::TransportKind kind, size_t bytes, int reps,
 
 int main(int argc, char** argv) {
   benchutil::JsonReporter json(argc, argv);
+  benchutil::MetricsReporter metrics(argc, argv);
   std::optional<uint64_t> chaos_seed;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::string(argv[i]) == "--chaos-seed") {
@@ -91,5 +92,6 @@ int main(int argc, char** argv) {
   }
   std::printf("\nshape checks: BIP wins everywhere; the gap is largest for small\n"
               "messages (no kernel crossing) and both curves are affine in size.\n");
-  return json.write("fig5_roundtrip") ? 0 : 1;
+  const bool ok = json.write("fig5_roundtrip");
+  return metrics.write() && ok ? 0 : 1;
 }

@@ -30,4 +30,10 @@ cd build-asan
 # grep -c (not -q): -q would close the pipe early and pipefail would see
 # ctest's SIGPIPE as a failure.
 [ "$(ctest -N | grep -ci chaos)" -gt 0 ] || { echo "chaos tests missing from ctest registration" >&2; exit 1; }
+# Observability tier with tracing force-enabled: STARFISH_OBS_FORCE installs
+# a process-default hub with the tracer on, so the sanitizer sweeps the
+# record/export paths that default-off runs never touch.
+[ "$(ctest -N | grep -c "Obs")" -gt 0 ] || { echo "obs tests missing from ctest registration" >&2; exit 1; }
+# (-R before -j: ctest's -j greedily consumes the following argument.)
+STARFISH_OBS_FORCE=1 ctest --output-on-failure -R '^Obs' -j "$@"
 exec ctest --output-on-failure -j "$@"

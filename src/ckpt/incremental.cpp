@@ -171,7 +171,8 @@ void PageHashCache::rebuild(util::BytesView state) {
 }
 
 util::Bytes incremental_encode(const util::Bytes& prev, const util::Bytes& cur,
-                               uint64_t* changed_pages, PageHashCache* cache) {
+                               uint64_t* changed_pages, PageHashCache* cache,
+                               EncodeStats* stats) {
   util::Bytes out;
   util::Writer w(out);
   w.u64(cur.size());
@@ -218,6 +219,11 @@ util::Bytes incremental_encode(const util::Bytes& prev, const util::Bytes& cur,
     cache->valid = true;
   }
   if (changed_pages != nullptr) *changed_pages = changed;
+  if (stats != nullptr) {
+    stats->pages_scanned += n_pages;
+    if (cache != nullptr) stats->pages_hashed += n_pages;
+    stats->pages_dirty += changed;
+  }
   return out;
 }
 

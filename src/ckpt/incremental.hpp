@@ -54,15 +54,23 @@ struct PageHashCache {
   void rebuild(util::BytesView state);
 };
 
+/// Per-pass accounting of one incremental_encode call, for the obs layer:
+/// how much work the scan did and how much of the state was dirty.
+struct EncodeStats {
+  uint64_t pages_scanned = 0;  ///< pages of `cur` examined
+  uint64_t pages_hashed = 0;   ///< fingerprints computed (cache present)
+  uint64_t pages_dirty = 0;    ///< changed pages emitted into the delta
+};
+
 /// Encodes the pages of `cur` that differ from `prev` (or lie beyond its
 /// end) in one pass over `cur`. With a warm `cache` (describing `prev`),
 /// unchanged pages are detected by fingerprint compare and `prev` is not
 /// read at all; cold or absent caches fall back to one memcmp per page.
 /// On return the cache describes `cur`, warm for the next epoch.
-/// Optionally reports how many pages changed.
+/// Optionally reports how many pages changed and the pass accounting.
 util::Bytes incremental_encode(const util::Bytes& prev, const util::Bytes& cur,
                                uint64_t* changed_pages = nullptr,
-                               PageHashCache* cache = nullptr);
+                               PageHashCache* cache = nullptr, EncodeStats* stats = nullptr);
 
 /// Reconstructs the full state from `base` plus one delta. Rejects deltas
 /// whose announced size exceeds `max_state_bytes`, whose page indices are

@@ -6,6 +6,7 @@ namespace starfish::ckpt {
 
 void CheckpointStore::put(sim::Host& host, const CkptKey& key, Image image) {
   const uint64_t bytes = image.file_bytes;
+  const sim::Time start = engine_.now();
   if (image.kind == ImageKind::kNative) {
     engine_.sleep(kNativeDumpSetup);
     host.disk().write(bytes);
@@ -13,13 +14,37 @@ void CheckpointStore::put(sim::Host& host, const CkptKey& key, Image image) {
     host.disk().write_buffered(bytes);
   }
   bytes_written_ += bytes;
+  if (obs::Hub* hub = engine_.obs()) {
+    hub->metrics.counter("ckpt.store.images_written").add(1);
+    hub->metrics.counter("ckpt.store.bytes_written").add(bytes);
+    hub->metrics.histogram("ckpt.store.put_ns").record(static_cast<uint64_t>(engine_.now() - start));
+    if (hub->tracer.enabled()) {
+      hub->tracer.complete(static_cast<uint64_t>(start),
+                           static_cast<uint64_t>(engine_.now() - start), "ckpt",
+                           "put " + key.app + "/r" + std::to_string(key.rank) + "/e" +
+                               std::to_string(key.epoch),
+                           host.id());
+    }
+  }
   images_[key] = std::move(image);
 }
 
 std::optional<Image> CheckpointStore::get(sim::Host& host, const CkptKey& key) {
   auto it = images_.find(key);
   if (it == images_.end()) return std::nullopt;
+  const sim::Time start = engine_.now();
   host.disk().read(it->second.file_bytes);
+  if (obs::Hub* hub = engine_.obs()) {
+    hub->metrics.counter("ckpt.store.images_read").add(1);
+    hub->metrics.counter("ckpt.store.bytes_read").add(it->second.file_bytes);
+    if (hub->tracer.enabled()) {
+      hub->tracer.complete(static_cast<uint64_t>(start),
+                           static_cast<uint64_t>(engine_.now() - start), "ckpt",
+                           "get " + key.app + "/r" + std::to_string(key.rank) + "/e" +
+                               std::to_string(key.epoch),
+                           host.id());
+    }
+  }
   return it->second;
 }
 
@@ -35,6 +60,13 @@ void CheckpointStore::commit(const std::string& app, uint64_t epoch) {
   auto it = committed_.find(app);
   if (it == committed_.end() || it->second < epoch) committed_[app] = epoch;
   commit_times_.emplace(std::make_pair(app, epoch), engine_.now());
+  if (obs::Hub* hub = engine_.obs()) {
+    hub->metrics.counter("ckpt.store.epochs_committed").add(1);
+    if (hub->tracer.enabled()) {
+      hub->tracer.instant(static_cast<uint64_t>(engine_.now()), "ckpt",
+                          "commit " + app + "/e" + std::to_string(epoch), 0);
+    }
+  }
 }
 
 void CheckpointStore::note_begin(const std::string& app, uint64_t epoch) {

@@ -355,17 +355,33 @@ void CrModule::store_image(uint64_t epoch, util::Bytes app_state, util::Bytes ch
   c.tracker = tracker_.encode();
   c.channel_state = std::move(channel_state);
   c.recorded = recorded;
+  const auto state_pages =
+      (app_state.size() + ckpt::kPageBytes - 1) / ckpt::kPageBytes;
   if (process_.job().incremental_ckpt && have_prev_ && !is_full_epoch(epoch)) {
     // Warm cache: one fingerprint pass over app_state, prev_app_state_ is
     // not read; the pass leaves the cache describing app_state.
-    c.app_state = ckpt::incremental_encode(prev_app_state_, app_state, nullptr, &page_cache_);
+    ckpt::EncodeStats enc;
+    c.app_state =
+        ckpt::incremental_encode(prev_app_state_, app_state, nullptr, &page_cache_, &enc);
     img.incremental = true;
     img.base_epoch = prev_epoch_;
+    if (obs::Hub* hub = process_.engine().obs()) {
+      hub->metrics.counter("ckpt.pages_scanned").add(enc.pages_scanned);
+      hub->metrics.counter("ckpt.pages_hashed").add(enc.pages_hashed);
+      hub->metrics.counter("ckpt.pages_dirty").add(enc.pages_dirty);
+      hub->metrics.counter("ckpt.pages_written").add(enc.pages_dirty);
+    }
   } else {
     c.app_state = app_state;
     // Full epoch: no encode pass ran, so warm the cache here — otherwise the
     // next delta epoch would fall back to the memcmp path.
     if (process_.job().incremental_ckpt) page_cache_.rebuild(app_state);
+    if (obs::Hub* hub = process_.engine().obs()) {
+      if (process_.job().incremental_ckpt) {
+        hub->metrics.counter("ckpt.pages_hashed").add(state_pages);
+      }
+      hub->metrics.counter("ckpt.pages_written").add(state_pages);
+    }
   }
   if (process_.job().incremental_ckpt) {
     prev_app_state_ = std::move(app_state);
@@ -385,6 +401,9 @@ void CrModule::store_image(uint64_t epoch, util::Bytes app_state, util::Bytes ch
                        ckpt::CkptKey{process_.job().name, process_.rank(), epoch},
                        std::move(img));
   ++checkpoints_taken_;
+  if (obs::Hub* hub = process_.engine().obs()) {
+    hub->metrics.counter("ckpt.checkpoints_taken").add(1);
+  }
   STARFISH_LOG(kDebug, kLog) << process_.job().name << " rank " << process_.rank()
                              << " stored checkpoint " << epoch;
 }

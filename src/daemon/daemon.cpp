@@ -386,6 +386,7 @@ void Daemon::handle_submit(const JobSpec& job) {
     STARFISH_LOG(kWarn, kLog) << "duplicate submission of '" << job.name << "' ignored";
     return;
   }
+  if (obs::Hub* hub = net_.engine().obs()) hub->metrics.counter("daemon.jobs_submitted").add(1);
   AppState state;
   state.job = job;
   // Deterministic placement: every daemon computes the same map from the
@@ -505,6 +506,14 @@ void Daemon::on_lw_message(const std::string& app, gcs::MemberId origin,
 // -------------------------------------------------------- local procs ----
 
 void Daemon::launch_rank(AppState& state, uint32_t rank, uint64_t restore_epoch) {
+  if (obs::Hub* hub = net_.engine().obs()) {
+    hub->metrics.counter("daemon.launches").add(1);
+    if (restore_epoch != kNoRestore) hub->metrics.counter("daemon.restores").add(1);
+    if (hub->tracer.enabled()) {
+      hub->tracer.instant(static_cast<uint64_t>(net_.engine().now()), "daemon",
+                          "launch " + state.job.name + "/r" + std::to_string(rank), host_.id());
+    }
+  }
   LaunchRequest req;
   req.job = state.job;
   req.rank = rank;
@@ -708,6 +717,11 @@ std::map<uint32_t, uint64_t> Daemon::compute_restore_epochs(const AppState& stat
       }
     }
     auto line = ckpt::compute_recovery_line(metas, latest);
+    if (obs::Hub* hub = net_.engine().obs()) {
+      hub->metrics.counter("ckpt.recovery_lines").add(1);
+      hub->metrics.counter("ckpt.rollback_intervals")
+          .add(ckpt::rollback_distance(line, latest));
+    }
     for (const auto& [rank, idx] : line) {
       out[rank] = idx == 0 ? kNoRestore : idx;
     }
@@ -733,6 +747,13 @@ void Daemon::retire_locals(AppState& state) {
 }
 
 void Daemon::restart_app(AppState& state) {
+  if (obs::Hub* hub = net_.engine().obs()) {
+    hub->metrics.counter("daemon.restarts").add(1);
+    if (hub->tracer.enabled()) {
+      hub->tracer.instant(static_cast<uint64_t>(net_.engine().now()), "daemon",
+                          "restart " + state.job.name, host_.id());
+    }
+  }
   ++restarts_performed_;
   ++state.restart_count;
   ++state.wiring_epoch;

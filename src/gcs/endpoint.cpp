@@ -237,6 +237,13 @@ void GroupEndpoint::maybe_initiate_change() {
 }
 
 void GroupEndpoint::initiate_change() {
+  if (obs::Hub* hub = net_.engine().obs()) {
+    hub->metrics.counter("gcs.flush_rounds").add(1);
+    if (hub->tracer.enabled()) {
+      hub->tracer.instant(static_cast<uint64_t>(net_.engine().now()), "gcs",
+                          "flush-start view" + std::to_string(view_.view_id + 1), host_.id());
+    }
+  }
   change_view_id_ = view_.view_id + 1;
   ++change_attempt_;
   change_coordinator_ = self_;
@@ -491,6 +498,12 @@ void GroupEndpoint::handle_order(const WireMsg& msg) {
   if (msg.gseq <= delivered_gseq_) return;  // duplicate
   OrderedMsg om{msg.gseq, msg.origin, msg.msg_id, msg.payload};
   holdback_[om.gseq] = std::move(om);
+  if (obs::Hub* hub = net_.engine().obs()) {
+    // Depth at its high-water point: just after queuing, before draining.
+    hub->metrics
+        .histogram("gcs.holdback_depth", obs::HistogramSpec::exponential(1, 2.0, 12))
+        .record(holdback_.size());
+  }
   deliver_ready();
 }
 
@@ -512,6 +525,7 @@ void GroupEndpoint::deliver(const OrderedMsg& msg) {
     while (!pending_.empty() && pending_.front().first <= msg.msg_id) pending_.pop_front();
   }
   ++messages_delivered_;
+  if (obs::Hub* hub = net_.engine().obs()) hub->metrics.counter("gcs.messages_delivered").add(1);
   if (callbacks_.on_message) callbacks_.on_message(msg.origin, msg.payload);
 }
 
@@ -629,6 +643,21 @@ void GroupEndpoint::handle_install_req(const WireMsg& msg) {
 }
 
 void GroupEndpoint::install_view(const View& v, const std::vector<OrderedMsg>&) {
+  if (obs::Hub* hub = net_.engine().obs()) {
+    hub->metrics.counter("gcs.views_installed").add(1);
+    if (obs::Tracer* t = net_.engine().tracer()) {
+      const auto now = static_cast<uint64_t>(net_.engine().now());
+      // Flushing members render the whole blocked window as a span; members
+      // installed without flushing (joiners) get an instant marker.
+      if (phase_ == Phase::kFlushing && flush_started_ > 0) {
+        t->complete(static_cast<uint64_t>(flush_started_),
+                    now - static_cast<uint64_t>(flush_started_), "gcs",
+                    "view-change view" + std::to_string(v.view_id), host_.id());
+      } else {
+        t->instant(now, "gcs", "view-installed view" + std::to_string(v.view_id), host_.id());
+      }
+    }
+  }
   view_ = v;
   in_view_ = true;
   delivered_gseq_ = 0;

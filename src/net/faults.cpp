@@ -56,9 +56,16 @@ const LinkFaults& FaultInjector::faults_for(sim::HostId src, sim::HostId dst,
   return default_;
 }
 
-void FaultInjector::note(const char* what, sim::HostId src, sim::HostId dst) {
+void FaultInjector::note(const char* what, sim::HostId src, sim::HostId dst, uint64_t count) {
   trace_.push_back(std::to_string(engine_.now()) + " " + what + " host" + std::to_string(src) +
                    "->host" + std::to_string(dst));
+  if (obs::Hub* hub = engine_.obs()) {
+    hub->metrics.counter(std::string("net.fault.") + what).add(count);
+    if (hub->tracer.enabled()) {
+      hub->tracer.instant(static_cast<uint64_t>(engine_.now()), "fault",
+                          std::string(what) + " ->host" + std::to_string(dst), src);
+    }
+  }
 }
 
 sim::Duration FaultInjector::latency_extra(const LinkFaults& f, sim::HostId src, sim::HostId dst,
@@ -134,7 +141,7 @@ sim::Duration FaultInjector::stream_penalty(sim::HostId src, sim::HostId dst,
     }
     if (streak > 0) {
       counters_.stream_retransmits += static_cast<uint64_t>(streak);
-      note("stream-retransmit", src, dst);
+      note("stream-retransmit", src, dst, static_cast<uint64_t>(streak));
     }
   }
   extra += latency_extra(f, src, dst, "stream-delay");

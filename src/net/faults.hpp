@@ -137,7 +137,11 @@ class FaultInjector {
   const LinkFaults& faults_for(sim::HostId src, sim::HostId dst, TransportKind kind) const;
   sim::Duration latency_extra(const LinkFaults& f, sim::HostId src, sim::HostId dst,
                               const char* what);
-  void note(const char* what, sim::HostId src, sim::HostId dst);
+  /// Records one fault decision: appends a trace() line, bumps the
+  /// "net.fault.<what>" obs counter by `count` (keeping obs tallies equal to
+  /// the FaultCounters, which add whole retransmit streaks at once) and
+  /// emits an instant trace event when tracing is on.
+  void note(const char* what, sim::HostId src, sim::HostId dst, uint64_t count = 1);
   void refresh_enabled();
 
   sim::Engine& engine_;

@@ -29,6 +29,28 @@ bool Network::host_alive(sim::HostId id) const {
   return id < hosts_.size() && hosts_[id]->alive();
 }
 
+void Network::note_packet(const Packet& packet, sim::Duration latency, bool delivered) {
+  obs::Hub* hub = engine_.obs();
+  if (hub == nullptr) return;
+  if (hub != obs_hub_) {
+    obs_hub_ = hub;
+    obs_packets_ = &hub->metrics.counter("net.packets_sent");
+    obs_bytes_ = &hub->metrics.counter("net.bytes_sent");
+    obs_links_.clear();
+  }
+  obs_packets_->add(1);
+  obs_bytes_->add(packet.payload.size());
+  // Loopback and dropped packets have no meaningful wire latency.
+  if (!delivered || packet.src.host == packet.dst.host) return;
+  auto [it, inserted] = obs_links_.try_emplace({packet.src.host, packet.dst.host}, nullptr);
+  if (inserted) {
+    it->second = &hub->metrics.histogram("net.link.host" + std::to_string(packet.src.host) +
+                                         "->host" + std::to_string(packet.dst.host) +
+                                         ".latency_ns");
+  }
+  it->second->record(static_cast<uint64_t>(latency));
+}
+
 void Network::transmit(TransportKind kind, Packet packet) {
   const TransportModel& model = model_for(kind);
   sim::Duration delay;
@@ -44,6 +66,7 @@ void Network::transmit(TransportKind kind, Packet packet) {
     const auto verdict = faults_.datagram_verdict(packet, kind);
     if (verdict.drop) {
       ++packets_sent_;  // it went on the wire; the wire lost it
+      note_packet(packet, 0, /*delivered=*/false);
       return;
     }
     delay += verdict.extra;
@@ -58,6 +81,7 @@ void Network::transmit(TransportKind kind, Packet packet) {
   last_delivery_[key] = arrival;
   delay = arrival - engine_.now();
   ++packets_sent_;
+  note_packet(packet, delay, /*delivered=*/true);
   Packet second;
   if (duplicate) second = packet;
   engine_.schedule(delay, [this, packet = std::move(packet)]() mutable {
@@ -67,6 +91,7 @@ void Network::transmit(TransportKind kind, Packet packet) {
     const sim::Time dup_arrival = last_delivery_[key] + 1;
     last_delivery_[key] = dup_arrival;
     ++packets_sent_;
+    note_packet(second, dup_arrival - engine_.now(), /*delivered=*/true);
     engine_.schedule(dup_arrival - engine_.now(), [this, packet = std::move(second)]() mutable {
       deliver_packet(std::move(packet));
     });

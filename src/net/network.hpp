@@ -180,6 +180,10 @@ class Network {
   friend class Acceptor;
 
   bool host_alive(sim::HostId id) const;
+  /// Observability: counts one wire packet and records its transit latency
+  /// into the per-link histogram. No-op without an attached hub; resolved
+  /// lazily so a hub attached after construction is still picked up.
+  void note_packet(const Packet& packet, sim::Duration latency, bool delivered);
   /// Schedules wire transit and delivery into the bound inbox (dropped if
   /// either host dies first or nothing is bound on arrival).
   void transmit(TransportKind kind, Packet packet);
@@ -198,6 +202,12 @@ class Network {
   std::map<NetAddr, Acceptor*> listeners_;
   std::vector<std::weak_ptr<Connection::State>> conn_states_;
   uint64_t packets_sent_ = 0;
+
+  /// Cached obs instruments, keyed by the hub they were resolved against.
+  obs::Hub* obs_hub_ = nullptr;
+  obs::Counter* obs_packets_ = nullptr;
+  obs::Counter* obs_bytes_ = nullptr;
+  std::map<std::pair<sim::HostId, sim::HostId>, obs::Histogram*> obs_links_;
 };
 
 }  // namespace starfish::net

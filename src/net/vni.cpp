@@ -33,21 +33,46 @@ Vni::Vni(Network& net, sim::Host& host, TransportKind kind, bool polling)
 
 Vni::~Vni() { shutdown(); }
 
+void Vni::note_frames(uint64_t sent_bytes, bool received) {
+  obs::Hub* hub = net_.engine().obs();
+  if (hub == nullptr) return;
+  if (hub != obs_hub_) {
+    obs_hub_ = hub;
+    obs_sent_ = &hub->metrics.counter("vni.frames_sent");
+    obs_sent_bytes_ = &hub->metrics.counter("vni.bytes_sent");
+    obs_received_ = &hub->metrics.counter("vni.frames_received");
+  }
+  if (received) {
+    obs_received_->add(1);
+  } else {
+    obs_sent_->add(1);
+    obs_sent_bytes_->add(sent_bytes);
+  }
+}
+
 bool Vni::send(NetAddr dst, util::SharedBytes frame) {
+  const uint64_t bytes = frame.size();
   const bool ok = endpoint_->send_raw(dst, std::move(frame));
-  if (ok) ++frames_sent_;
+  if (ok) {
+    ++frames_sent_;
+    note_frames(bytes, /*received=*/false);
+  }
   return ok;
 }
 
 sim::RecvResult<Packet> Vni::recv(sim::Time deadline) {
   if (polling_) {
     auto r = rx_queue_->recv(deadline);
-    if (r.ok()) ++frames_received_;
+    if (r.ok()) {
+      ++frames_received_;
+      note_frames(0, /*received=*/true);
+    }
     return r;
   }
   auto r = endpoint_->recv(deadline);
   if (r.ok()) {
     ++frames_received_;
+    note_frames(0, /*received=*/true);
     // No polling thread: the kernel interaction happens here, on the
     // application's critical path (paper section 2.2.1).
     net_.engine().advance(model().blocking_recv_penalty);
@@ -57,7 +82,10 @@ sim::RecvResult<Packet> Vni::recv(sim::Time deadline) {
 
 std::optional<Packet> Vni::try_recv() {
   auto v = polling_ ? rx_queue_->try_recv() : endpoint_->try_recv();
-  if (v) ++frames_received_;
+  if (v) {
+    ++frames_received_;
+    note_frames(0, /*received=*/true);
+  }
   return v;
 }
 

@@ -49,9 +49,17 @@ class Vni {
   uint64_t frames_received() const { return frames_received_; }
 
  private:
+  /// Observability: per-process frame counts aggregate into the hub's
+  /// "vni.*" counters (lazily resolved; no-op without a hub).
+  void note_frames(uint64_t sent_bytes, bool received);
+
   Network& net_;
   TransportKind kind_;
   bool polling_;
+  obs::Hub* obs_hub_ = nullptr;
+  obs::Counter* obs_sent_ = nullptr;
+  obs::Counter* obs_sent_bytes_ = nullptr;
+  obs::Counter* obs_received_ = nullptr;
   DatagramEndpointPtr endpoint_;
   /// Shared with the poller fiber, which may briefly outlive this object
   /// (fiber wake-ups are asynchronous); the poller never touches `this`.

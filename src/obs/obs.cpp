@@ -1,0 +1,30 @@
+#include "obs/obs.hpp"
+
+#include <cstdlib>
+
+namespace starfish::obs {
+
+namespace {
+Hub* g_default_hub = nullptr;
+bool g_env_checked = false;
+}  // namespace
+
+Hub* default_hub() {
+  if (g_default_hub == nullptr && !g_env_checked) {
+    g_env_checked = true;
+    const char* force = std::getenv("STARFISH_OBS_FORCE");
+    if (force != nullptr && *force != '\0' && !(force[0] == '0' && force[1] == '\0')) {
+      static Hub forced;
+      forced.tracer.set_enabled(true);
+      g_default_hub = &forced;
+    }
+  }
+  return g_default_hub;
+}
+
+void set_default_hub(Hub* hub) {
+  g_default_hub = hub;
+  g_env_checked = true;  // an explicit choice beats the environment
+}
+
+}  // namespace starfish::obs

@@ -1,0 +1,36 @@
+// starfish::obs — deterministic observability (DESIGN.md section 10).
+//
+// A Hub bundles the two instruments every layer records into: the metrics
+// registry and the span/event tracer. Hubs are attached per-engine
+// (`sim::Engine::set_obs`), or process-wide via the default hub, which every
+// Engine built afterwards picks up automatically — that is how the benches'
+// `--metrics FILE` mode instruments engines created deep inside a run
+// without threading a pointer through every constructor.
+//
+// Determinism contract: everything recorded derives from virtual time and
+// the deterministic event order, so same-seed runs snapshot identically,
+// and an attached hub never feeds back into the simulation (no RNG draws,
+// no scheduling, no visible state) — runs with observability off are
+// byte-identical to runs that never compiled it in.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace starfish::obs {
+
+struct Hub {
+  MetricsRegistry metrics;
+  Tracer tracer;
+};
+
+/// The process-default hub (nullptr when none). First call honours the
+/// STARFISH_OBS_FORCE environment variable: a non-empty, non-"0" value
+/// installs a process-global hub with tracing enabled, which is how the
+/// sanitizer CI drives the instrumentation paths without per-test wiring.
+Hub* default_hub();
+/// Installs (or clears, with nullptr) the default hub. Affects engines
+/// constructed afterwards only.
+void set_default_hub(Hub* hub);
+
+}  // namespace starfish::obs

@@ -110,6 +110,10 @@ void Engine::run() {
     assert(ev.at >= now_);
     now_ = ev.at;
     ++events_executed_;
+    if (obs_events_ != nullptr) {
+      obs_events_->add(1);
+      obs_runq_->record(queue_.size());
+    }
     ev.fn();
     // Periodically drop finished fibers so long simulations don't grow.
     if ((events_executed_ & 0x3ff) == 0) {
@@ -126,6 +130,10 @@ void Engine::run_for(Duration d) {
     queue_.pop();
     now_ = ev.at;
     ++events_executed_;
+    if (obs_events_ != nullptr) {
+      obs_events_->add(1);
+      obs_runq_->record(queue_.size());
+    }
     ev.fn();
   }
   now_ = deadline;
@@ -136,6 +144,7 @@ void Engine::resume(Fiber* fiber) {
   assert(!fiber->finished());
   current_ = fiber;
   fiber->state_ = FiberState::kRunning;
+  if (obs_switches_ != nullptr) obs_switches_->add(1);
   swapcontext(&main_context_, &fiber->context_);
   current_ = nullptr;
 }

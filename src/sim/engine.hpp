@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "sim/fiber.hpp"
 #include "sim/time.hpp"
 #include "util/rng.hpp"
@@ -24,7 +25,7 @@ class Engine {
   /// The seed feeds the engine-owned RNG that randomized simulation
   /// components (fault injection, chaos schedules) draw from. Two engines
   /// with the same seed and the same event sequence replay bit-for-bit.
-  explicit Engine(uint64_t seed = 0) : seed_(seed), rng_(seed) {}
+  explicit Engine(uint64_t seed = 0) : seed_(seed), rng_(seed) { set_obs(obs::default_hub()); }
   ~Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -34,6 +35,24 @@ class Engine {
   /// The engine's deterministic RNG. Draw order is deterministic because
   /// events execute in (time, sequence) order on a single thread.
   util::Rng& rng() { return rng_; }
+
+  /// Observability hub recording this engine's metrics and trace events
+  /// (nullptr = observability off, the default unless a process-default hub
+  /// is installed). Attaching a hub never perturbs the simulation.
+  obs::Hub* obs() const { return obs_; }
+  void set_obs(obs::Hub* hub) {
+    obs_ = hub;
+    obs_events_ = hub ? &hub->metrics.counter("sim.events_executed") : nullptr;
+    obs_switches_ = hub ? &hub->metrics.counter("sim.fiber_switches") : nullptr;
+    obs_runq_ = hub ? &hub->metrics.histogram("sim.run_queue_depth",
+                                              obs::HistogramSpec::exponential(1, 2.0, 20))
+                    : nullptr;
+  }
+  /// The tracer when attached and enabled, else nullptr — the one-branch
+  /// guard every trace call site uses.
+  obs::Tracer* tracer() const {
+    return obs_ != nullptr && obs_->tracer.enabled() ? &obs_->tracer : nullptr;
+  }
 
   /// Schedules a plain callback at now() + delay. Callbacks run on the main
   /// context and must not block.
@@ -99,6 +118,10 @@ class Engine {
   Time now_ = 0;
   uint64_t seed_ = 0;
   util::Rng rng_;
+  obs::Hub* obs_ = nullptr;
+  obs::Counter* obs_events_ = nullptr;
+  obs::Counter* obs_switches_ = nullptr;
+  obs::Histogram* obs_runq_ = nullptr;
   uint64_t next_seq_ = 0;
   uint64_t next_fiber_id_ = 1;
   uint64_t events_executed_ = 0;

@@ -3,8 +3,8 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <sstream>
-#include <string>
 #include <string_view>
 
 namespace starfish::util {
@@ -19,27 +19,34 @@ void set_log_level(LogLevel level);
 void log_line(LogLevel level, std::string_view component, std::string_view message);
 
 /// Stream-style convenience: LOG(kInfo, "gcs") << "view " << id;
+///
+/// A filtered-out line costs two stores and a branch: the component stays a
+/// string_view (it outlives the statement — STARFISH_LOG call sites pass
+/// literals) and the ostringstream is only constructed when the line will
+/// actually be emitted. Trace-level call sites on hot paths therefore cost
+/// nothing while the logger sits at its kWarn default.
 class LogStream {
  public:
   LogStream(LogLevel level, std::string_view component)
-      : level_(level), component_(component), enabled_(level >= log_level()) {}
+      : level_(level), component_(component) {
+    if (level >= log_level()) stream_.emplace();
+  }
   ~LogStream() {
-    if (enabled_) log_line(level_, component_, stream_.str());
+    if (stream_) log_line(level_, component_, stream_->str());
   }
   LogStream(const LogStream&) = delete;
   LogStream& operator=(const LogStream&) = delete;
 
   template <typename T>
   LogStream& operator<<(const T& v) {
-    if (enabled_) stream_ << v;
+    if (stream_) *stream_ << v;
     return *this;
   }
 
  private:
   LogLevel level_;
-  std::string component_;
-  bool enabled_;
-  std::ostringstream stream_;
+  std::string_view component_;
+  std::optional<std::ostringstream> stream_;
 };
 
 }  // namespace starfish::util

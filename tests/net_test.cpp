@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "net/faults.hpp"
 #include "net/model_params.hpp"
 #include "net/network.hpp"
 #include "net/vni.hpp"
@@ -455,6 +456,105 @@ TEST(Vni, CountsFrames) {
   f.eng.run();
   EXPECT_EQ(a.frames_sent(), 3u);
   EXPECT_EQ(b.frames_received(), 3u);
+}
+
+// -------------------------------------------------------- FaultShutdown ----
+//
+// Shutdown edges under active fault plans: packets still in flight (or still
+// queued) when an endpoint closes must follow drain-then-kClosed semantics,
+// and the injector counters must tie out exactly with what was observed.
+
+TEST(FaultShutdown, DuplicatedDatagramsDrainBeforeClosed) {
+  Fixture f;
+  // duplicate=1.0 with no jitter: every datagram arrives exactly twice,
+  // deterministically, with the copy ordered right after the original.
+  f.net.faults().set_link(0, 1, {.duplicate = 1.0});
+  auto a = f.net.bind(0, 100, TransportKind::kBipMyrinet);
+  auto b = f.net.bind(1, 100, TransportKind::kBipMyrinet);
+  std::vector<sim::RecvStatus> statuses;
+  f.eng.spawn("tx", [&] { a->send({1, 100}, make_payload(8)); });
+  // Close only after both copies have been delivered into the inbox; the
+  // pending items must drain as kOk before the close is reported.
+  f.eng.schedule(milliseconds(1), [&] { b->close(); });
+  f.eng.spawn("rx", [&] {
+    f.eng.sleep(milliseconds(2));
+    for (int i = 0; i < 3; ++i) statuses.push_back(b->recv().status);
+  });
+  f.eng.run();
+  ASSERT_EQ(statuses.size(), 3u);
+  EXPECT_EQ(statuses[0], sim::RecvStatus::kOk);
+  EXPECT_EQ(statuses[1], sim::RecvStatus::kOk);  // the duplicate drains too
+  EXPECT_EQ(statuses[2], sim::RecvStatus::kClosed);
+  EXPECT_EQ(f.net.faults().counters().datagrams_duplicated, 1u);
+}
+
+TEST(FaultShutdown, DuplicateArrivingAfterCloseIsDroppedSilently) {
+  Fixture f;
+  f.net.faults().set_link(0, 1, {.duplicate = 1.0});
+  auto a = f.net.bind(0, 100, TransportKind::kBipMyrinet);
+  auto b = f.net.bind(1, 100, TransportKind::kBipMyrinet);
+  int received = 0;
+  f.eng.spawn("tx", [&] { a->send({1, 100}, make_payload(8)); });
+  f.eng.spawn("rx", [&] {
+    // Take the first copy, then close: the duplicate is scheduled one tick
+    // later and lands on an unbound port — dropped without any error.
+    if (b->recv().ok()) ++received;
+    b->close();
+  });
+  f.eng.run();
+  EXPECT_EQ(received, 1);
+  EXPECT_TRUE(b->closed());
+  // The injector still accounts for the duplicate it created even though
+  // the copy never reached a consumer.
+  EXPECT_EQ(f.net.faults().counters().datagrams_duplicated, 1u);
+}
+
+TEST(FaultShutdown, DelayedStreamFramesDrainBeforeFin) {
+  Fixture f;
+  // A hefty fixed delay on the client->server direction: the FIN from
+  // close() must still be ordered after every delayed in-flight frame.
+  f.net.faults().set_link(1, 0, {.delay = milliseconds(5)});
+  auto acc = f.net.listen(0, 7000, TransportKind::kTcpIp);
+  std::vector<sim::RecvStatus> statuses;
+  f.eng.spawn("server", [&] {
+    auto c = acc->accept();
+    ASSERT_TRUE(c.ok());
+    for (int i = 0; i < 4; ++i) statuses.push_back((*c.value)->recv().status);
+  });
+  f.eng.spawn("client", [&] {
+    auto conn = f.net.connect(1, {0, 7000}, TransportKind::kTcpIp);
+    ASSERT_NE(conn, nullptr);
+    for (int i = 0; i < 3; ++i) conn->send(make_payload(16));
+    conn->close();  // issued while all three frames are still in flight
+  });
+  f.eng.run();
+  ASSERT_EQ(statuses.size(), 4u);
+  EXPECT_EQ(statuses[0], sim::RecvStatus::kOk);
+  EXPECT_EQ(statuses[1], sim::RecvStatus::kOk);
+  EXPECT_EQ(statuses[2], sim::RecvStatus::kOk);
+  EXPECT_EQ(statuses[3], sim::RecvStatus::kClosed);
+  // Every data frame was charged the fixed delay (fixed plan, no RNG), and
+  // the counter ties out with the injector's own decision trace.
+  EXPECT_EQ(f.net.faults().counters().datagrams_delayed, 3u);
+  EXPECT_EQ(f.net.faults().trace().size(), 3u);
+}
+
+TEST(FaultShutdown, DropPlanCountersMatchObservedLoss) {
+  Fixture f;
+  f.net.faults().set_link(0, 1, {.drop = 1.0});
+  auto a = f.net.bind(0, 100, TransportKind::kBipMyrinet);
+  auto b = f.net.bind(1, 100, TransportKind::kBipMyrinet);
+  const int sends = 5;
+  f.eng.spawn("tx", [&] {
+    for (int i = 0; i < sends; ++i) a->send({1, 100}, make_payload(4));
+  });
+  f.eng.run();
+  int received = 0;
+  while (b->try_recv()) ++received;
+  EXPECT_EQ(received, 0);
+  // sends - receives == datagrams the injector claims it dropped.
+  EXPECT_EQ(f.net.faults().counters().datagrams_dropped,
+            static_cast<uint64_t>(sends - received));
 }
 
 // Property sweep: RTT grows linearly with size on both transports.
