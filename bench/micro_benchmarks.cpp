@@ -30,6 +30,73 @@ void BM_EngineEventDispatch(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineEventDispatch);
 
+// Wake-heavy: the dominant block/wake/resume cycle (every recv, every GCS
+// deliver, every sync primitive). Two fibers ping-pong through a pair of
+// channels, so each item is one park + one zero-delay wake + one resume on
+// each side, with no timer involved after warmup.
+void BM_EngineWakeHeavy(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    sim::Channel<int> ping(eng);
+    sim::Channel<int> pong(eng);
+    eng.spawn("ponger", [&] {
+      for (int i = 0; i < 1000; ++i) {
+        (void)ping.recv();
+        pong.send(i);
+      }
+    });
+    eng.spawn("pinger", [&] {
+      for (int i = 0; i < 1000; ++i) {
+        ping.send(i);
+        (void)pong.recv();
+      }
+    });
+    eng.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);  // wakes per iteration
+}
+BENCHMARK(BM_EngineWakeHeavy);
+
+// Spawn-heavy: daemon restarts, chaos churn, per-message handler fibers.
+// Waves of short-lived fibers; the driver joins each wave before launching
+// the next, so stack recycling (when present) can serve every wave after
+// the first from the pool.
+void BM_EngineSpawnHeavy(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    eng.spawn("driver", [&eng] {
+      for (int wave = 0; wave < 125; ++wave) {
+        for (int i = 0; i < 8; ++i) {
+          eng.spawn("worker", [&eng] { eng.sleep(sim::microseconds(1)); });
+        }
+        eng.sleep(sim::microseconds(2));  // joins the wave: workers exit first
+      }
+    });
+    eng.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);  // fibers per iteration
+}
+BENCHMARK(BM_EngineSpawnHeavy);
+
+// Mixed timers: many fibers asleep on staggered deadlines keep the timer
+// heap deep while short sleeps churn its top — the scheduling mix of the
+// fig benches (heartbeats + link delays + disk transfers).
+void BM_EngineMixedTimers(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    for (int i = 0; i < 64; ++i) {
+      eng.spawn("timer", [&eng, i] {
+        for (int k = 0; k < 32; ++k) {
+          eng.sleep(sim::microseconds((i * 37 + k * 11) % 97 + 1));
+        }
+      });
+    }
+    eng.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * 32);
+}
+BENCHMARK(BM_EngineMixedTimers);
+
 void BM_FiberContextSwitch(benchmark::State& state) {
   for (auto _ : state) {
     sim::Engine eng;

@@ -34,6 +34,18 @@ cd build-asan
 # a process-default hub with the tracer on, so the sanitizer sweeps the
 # record/export paths that default-off runs never touch.
 [ "$(ctest -N | grep -c "Obs")" -gt 0 ] || { echo "obs tests missing from ctest registration" >&2; exit 1; }
+# The engine-overhaul goldens must run sanitized too: this tree compiles the
+# ucontext fallback (STARFISH_FAST_CONTEXT is off under ASan), so a passing
+# run here proves both context-switch implementations replay one history.
+[ "$(ctest -N | grep -c "EngineGolden")" -gt 0 ] || { echo "engine golden tests missing from ctest registration" >&2; exit 1; }
 # (-R before -j: ctest's -j greedily consumes the following argument.)
 STARFISH_OBS_FORCE=1 ctest --output-on-failure -R '^Obs' -j "$@"
-exec ctest --output-on-failure -j "$@"
+ctest --output-on-failure -j "$@"
+
+# Perf smoke rides along on the non-sanitized Release tree: warn-only
+# comparison of the engine hot-path benches vs scripts/perf_baseline.json.
+# Disable with STARFISH_PERF_SMOKE=0 when only sanitizer coverage is wanted.
+if [[ "${STARFISH_PERF_SMOKE:-1}" != "0" ]]; then
+  cd ..
+  scripts/perf_smoke.sh
+fi

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Machine-readable benchmark runner: builds a Release tree and writes
-# BENCH_PR1.json at the repo root, combining
+# Machine-readable benchmark runner: builds a Release tree and writes a
+# BENCH_*.json snapshot at the repo root (name = first argument, default
+# BENCH_PR4.json), combining
 #   - google-benchmark's native JSON for the host micro benches, and
 #   - the --json runner mode of fig3/fig4/fig5 (host wall-clock, simulated
 #     ns and simulator events/sec per run).
@@ -8,6 +9,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+OUT_NAME="${1:-BENCH_PR4.json}"
 BUILD=build-bench
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" -j --target \
@@ -21,7 +23,7 @@ trap 'rm -rf "$out"' EXIT
 "$BUILD"/bench/fig4_vm_checkpoint --json "$out/fig4.json" >/dev/null
 "$BUILD"/bench/fig5_roundtrip --json "$out/fig5.json" >/dev/null
 
-python3 - "$out" <<'EOF'
+python3 - "$out" "$OUT_NAME" <<'EOF'
 import json, os, sys
 
 d = sys.argv[1]
@@ -31,8 +33,8 @@ merged = {
                 for f in ("fig3.json", "fig4.json", "fig5.json")],
     "micro": json.load(open(os.path.join(d, "micro.json"))),
 }
-with open("BENCH_PR1.json", "w") as f:
+with open(sys.argv[2], "w") as f:
     json.dump(merged, f, indent=1)
     f.write("\n")
-print("wrote BENCH_PR1.json")
+print("wrote", sys.argv[2])
 EOF

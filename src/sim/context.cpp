@@ -1,0 +1,88 @@
+#include "sim/context.hpp"
+
+#if STARFISH_FAST_CONTEXT
+
+// The switch frame, from the saved stack pointer upward:
+//   sp[0]  mxcsr (low 4 bytes) | x87 control word (at byte offset 4)
+//   sp[1]  r15        sp[2]  r14        sp[3]  r13
+//   sp[4]  r12        sp[5]  rbx        sp[6]  rbp
+//   sp[7]  return address
+// Only callee-saved state is stored: the caller of starfish_ctx_swap already
+// assumes everything else is clobbered by the call, exactly as for any other
+// function. The signal mask is deliberately NOT saved — that is the entire
+// speedup over swapcontext.
+asm(R"(
+        .text
+        .align 16
+        .globl starfish_ctx_swap
+        .type starfish_ctx_swap,@function
+starfish_ctx_swap:
+        .cfi_startproc
+        endbr64
+        pushq %rbp
+        pushq %rbx
+        pushq %r12
+        pushq %r13
+        pushq %r14
+        pushq %r15
+        subq $8, %rsp
+        stmxcsr (%rsp)
+        fnstcw 4(%rsp)
+        movq %rsp, (%rdi)
+        movq %rsi, %rsp
+        ldmxcsr (%rsp)
+        fldcw 4(%rsp)
+        addq $8, %rsp
+        popq %r15
+        popq %r14
+        popq %r13
+        popq %r12
+        popq %rbx
+        popq %rbp
+        ret
+        .cfi_endproc
+        .size starfish_ctx_swap,.-starfish_ctx_swap
+
+        .align 16
+        .globl starfish_ctx_entry
+        .type starfish_ctx_entry,@function
+starfish_ctx_entry:
+        .cfi_startproc
+        .cfi_undefined rip
+        endbr64
+        movq %r15, %rdi
+        callq *%r14
+        ud2
+        .cfi_endproc
+        .size starfish_ctx_entry,.-starfish_ctx_entry
+)");
+
+namespace starfish::sim {
+
+extern "C" void starfish_ctx_entry();  // assembly stub above; not C-callable
+
+void* ctx_make(void* stack_top, void (*entry)(void*), void* arg) {
+  uint32_t mxcsr = 0;
+  uint16_t fcw = 0;
+  asm volatile("stmxcsr %0\n\tfnstcw %1" : "=m"(mxcsr), "=m"(fcw));
+
+  // Align the top down to 16 and carve one switch frame. After the restore
+  // sequence pops it, rsp == top (16-aligned); the entry stub's indirect
+  // call then pushes a return address, giving entry() the ABI-required
+  // rsp % 16 == 8 on entry.
+  const uintptr_t top = reinterpret_cast<uintptr_t>(stack_top) & ~uintptr_t{15};
+  auto* sp = reinterpret_cast<uint64_t*>(top - 64);
+  sp[0] = static_cast<uint64_t>(mxcsr) | (static_cast<uint64_t>(fcw) << 32);
+  sp[1] = reinterpret_cast<uint64_t>(arg);    // restored into r15
+  sp[2] = reinterpret_cast<uint64_t>(entry);  // restored into r14
+  sp[3] = 0;                                  // r13
+  sp[4] = 0;                                  // r12
+  sp[5] = 0;                                  // rbx
+  sp[6] = 0;                                  // rbp
+  sp[7] = reinterpret_cast<uint64_t>(&starfish_ctx_entry);
+  return sp;
+}
+
+}  // namespace starfish::sim
+
+#endif  // STARFISH_FAST_CONTEXT

@@ -1,11 +1,10 @@
 #include "sim/engine.hpp"
 
-#include <sys/mman.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cassert>
-#include <cstdio>
-#include <cstdlib>
+#include <limits>
 
 #include "util/log.hpp"
 
@@ -14,48 +13,74 @@ namespace starfish::sim {
 namespace {
 constexpr size_t kStackBytes = 256 * 1024;
 
+#if !STARFISH_FAST_CONTEXT
 // makecontext passes only ints; the fiber pointer travels as two halves.
 Fiber* unpack_fiber(unsigned hi, unsigned lo) {
   uintptr_t p = (static_cast<uintptr_t>(hi) << 32) | static_cast<uintptr_t>(lo);
   return reinterpret_cast<Fiber*>(p);
 }
+#endif
 }  // namespace
 
 // ---------------------------------------------------------------- Fiber ----
 
 Fiber::Fiber(Engine& engine, std::string name, std::function<void()> body)
-    : engine_(engine), name_(std::move(name)), id_(engine.next_fiber_id_++), body_(std::move(body)) {
-  const long page = sysconf(_SC_PAGESIZE);
-  stack_total_ = kStackBytes + static_cast<size_t>(page);
-  stack_base_ = mmap(nullptr, stack_total_, PROT_READ | PROT_WRITE,
-                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
-  if (stack_base_ == MAP_FAILED) {
-    std::perror("starfish: fiber stack mmap");
-    std::abort();
+    : engine_(engine),
+      name_(std::move(name)),
+      id_(engine.next_fiber_id_++),
+      body_(std::move(body)),
+      pool_(engine.stack_pool_) {
+  const StackPool::Allocation alloc = pool_->acquire(kStackBytes);
+  stack_base_ = alloc.base;
+  stack_total_ = alloc.total;
+  if (alloc.reused) {
+    if (engine.obs_stack_hits_ != nullptr) engine.obs_stack_hits_->add(1);
+  } else if (engine.obs_stack_misses_ != nullptr) {
+    engine.obs_stack_misses_->add(1);
   }
-  // Guard page at the low end catches stack overflow with a SIGSEGV instead
-  // of silent corruption.
-  mprotect(stack_base_, static_cast<size_t>(page), PROT_NONE);
 
+#if STARFISH_FAST_CONTEXT
+  // Context creation is pure user-space pointer arithmetic: no getcontext
+  // syscall, no signal-mask snapshot. The guard page sits at stack_base_.
+  ctx_sp_ = ctx_make(static_cast<char*>(stack_base_) + stack_total_, &Fiber::fast_entry, this);
+#else
+  const long page = sysconf(_SC_PAGESIZE);
   getcontext(&context_);
   context_.uc_stack.ss_sp = static_cast<char*>(stack_base_) + page;
-  context_.uc_stack.ss_size = kStackBytes;
+  context_.uc_stack.ss_size = stack_total_ - static_cast<size_t>(page);
   context_.uc_link = &engine_.main_context_;
   const uintptr_t p = reinterpret_cast<uintptr_t>(this);
   makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::trampoline_entry), 2,
               static_cast<unsigned>(p >> 32), static_cast<unsigned>(p & 0xffffffffu));
+#endif
 }
 
-Fiber::~Fiber() {
-  if (stack_base_ != nullptr) munmap(stack_base_, stack_total_);
+Fiber::~Fiber() { release_stack(); }
+
+void Fiber::release_stack() {
+  if (stack_base_ != nullptr) {
+    pool_->release(stack_base_, stack_total_);
+    stack_base_ = nullptr;
+  }
 }
 
+#if STARFISH_FAST_CONTEXT
+void Fiber::fast_entry(void* arg) {
+  Fiber* self = static_cast<Fiber*>(arg);
+  self->run_body();
+  // The uc_link equivalent: switch back to the main context for good. The
+  // engine observes kFinished there and never resumes this context again.
+  starfish_ctx_swap(&self->ctx_sp_, self->engine_.main_sp_);
+  // Unreachable (the asm entry stub ud2s if entry ever returns).
+}
+#else
 void Fiber::trampoline_entry(unsigned hi, unsigned lo) {
   Fiber* self = unpack_fiber(hi, lo);
   self->run_body();
   // Returning lets ucontext switch to uc_link (the main context); the engine
   // observes kFinished there.
 }
+#endif
 
 void Fiber::run_body() {
   try {
@@ -73,14 +98,53 @@ void Fiber::run_body() {
 
 Engine::~Engine() {
   // Unblockable cleanup: any still-suspended fiber stacks are released
-  // without unwinding. Long-lived simulations should kill fibers and drain
-  // the queue before destroying the engine; tests that end mid-simulation
-  // rely on this path.
+  // without unwinding (back into the stack pool, which the last owner
+  // unmaps). Long-lived simulations should kill fibers and drain the queue
+  // before destroying the engine; tests that end mid-simulation rely on
+  // this path.
 }
 
-void Engine::schedule(Duration delay, std::function<void()> fn) {
-  assert(delay >= 0);
-  queue_.push(Event{now_ + delay, next_seq_++, std::move(fn)});
+void Engine::EventPool::grow() {
+  auto slab = std::make_unique<EventNode[]>(kSlabNodes);
+  for (size_t i = 0; i < kSlabNodes; ++i) {
+    slab[i].next_free = free_;
+    free_ = &slab[i];
+  }
+  slabs_.push_back(std::move(slab));
+}
+
+Engine::TimerEntry Engine::TimerHeap::pop() {
+  const TimerEntry out = v_[0];
+  const TimerEntry last = v_.back();
+  v_.pop_back();
+  if (!v_.empty()) {
+    // Sift the hole down, choosing the smallest of up to kArity children.
+    size_t i = 0;
+    const size_t n = v_.size();
+    for (;;) {
+      const size_t first = i * kArity + 1;
+      if (first >= n) break;
+      size_t best = first;
+      const size_t end = std::min(first + kArity, n);
+      for (size_t c = first + 1; c < end; ++c) {
+        if (before(v_[c], v_[best])) best = c;
+      }
+      if (!before(v_[best], last)) break;
+      v_[i] = v_[best];
+      i = best;
+    }
+    v_[i] = last;
+  }
+  return out;
+}
+
+void Engine::ReadyQueue::grow() {
+  const size_t cap = buf_.empty() ? 64 : buf_.size() * 2;
+  std::vector<ReadyEntry> next(cap);
+  for (size_t i = 0; i < count_; ++i) next[i] = std::move(buf_[(head_ + i) & mask_]);
+  buf_ = std::move(next);
+  head_ = 0;
+  mask_ = cap - 1;
 }
 
 FiberPtr Engine::spawn(std::string name, std::function<void()> body, Duration delay) {
@@ -102,39 +166,74 @@ void Engine::kill(const FiberPtr& fiber) {
   // event checks killed_); running fibers throw at their next block.
 }
 
+void Engine::note_event_dispatched(size_t remaining) {
+  ++events_executed_;
+  if (obs_events_ != nullptr) {
+    obs_events_->add(1);
+    obs_runq_->record(remaining);
+  }
+}
+
+bool Engine::dispatch_one(Time deadline) {
+  // Pick the globally smallest (time, seq) across the ready ring and the
+  // timer heap. Ready entries were enqueued at their wake time with a seq
+  // from the same counter timers draw from, so this interleaving is exactly
+  // the order the old single priority queue produced.
+  bool take_ready;
+  if (ready_.empty()) {
+    if (timers_.empty()) return false;
+    take_ready = false;
+  } else if (timers_.empty()) {
+    take_ready = true;
+  } else {
+    const ReadyEntry& r = ready_.front();
+    const TimerEntry& t = timers_.top();
+    take_ready = r.at != t.at ? r.at < t.at : r.seq < t.seq;
+  }
+
+  if (take_ready) {
+    if (ready_.front().at > deadline) return false;
+    ReadyEntry e = ready_.pop();
+    assert(e.at >= now_);
+    now_ = e.at;
+    note_event_dispatched(timers_.size() + ready_.size());
+    Fiber* f = e.fiber.get();
+    // Same guards the old wake event applied: the epoch and state checks
+    // make stale or duplicate wakes harmless (the fiber may already have
+    // resumed and re-blocked).
+    if (f->state_ == FiberState::kRunnable && f->wait_epoch_ == e.epoch && !f->finished()) {
+      resume(f);
+    }
+  } else {
+    if (timers_.top().at > deadline) return false;
+    TimerEntry t = timers_.pop();
+    assert(t.at >= now_);
+    now_ = t.at;
+    note_event_dispatched(timers_.size() + ready_.size());
+    t.node->fn();
+    pool_.release(t.node);
+  }
+
+  // Periodically drop finished fibers so long simulations don't grow. Both
+  // run() and run_for() dispatch through here (run_for never swept before
+  // this lived in the shared path, so run_for-driven simulations leaked).
+  if ((events_executed_ & 0x3ff) == 0) {
+    std::erase_if(fibers_, [](const FiberPtr& f) { return f->finished() && f.use_count() == 1; });
+  }
+  return true;
+}
+
 void Engine::run() {
   assert(current_ == nullptr && "Engine::run called from inside a fiber");
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    assert(ev.at >= now_);
-    now_ = ev.at;
-    ++events_executed_;
-    if (obs_events_ != nullptr) {
-      obs_events_->add(1);
-      obs_runq_->record(queue_.size());
-    }
-    ev.fn();
-    // Periodically drop finished fibers so long simulations don't grow.
-    if ((events_executed_ & 0x3ff) == 0) {
-      std::erase_if(fibers_, [](const FiberPtr& f) { return f->finished() && f.use_count() == 1; });
-    }
+  constexpr Time kForever = std::numeric_limits<Time>::max();
+  while (dispatch_one(kForever)) {
   }
 }
 
 void Engine::run_for(Duration d) {
   assert(current_ == nullptr && "Engine::run_for called from inside a fiber");
   const Time deadline = now_ + d;
-  while (!queue_.empty() && queue_.top().at <= deadline) {
-    Event ev = queue_.top();
-    queue_.pop();
-    now_ = ev.at;
-    ++events_executed_;
-    if (obs_events_ != nullptr) {
-      obs_events_->add(1);
-      obs_runq_->record(queue_.size());
-    }
-    ev.fn();
+  while (dispatch_one(deadline)) {
   }
   now_ = deadline;
 }
@@ -145,8 +244,16 @@ void Engine::resume(Fiber* fiber) {
   current_ = fiber;
   fiber->state_ = FiberState::kRunning;
   if (obs_switches_ != nullptr) obs_switches_->add(1);
+#if STARFISH_FAST_CONTEXT
+  starfish_ctx_swap(&main_sp_, fiber->ctx_sp_);
+#else
   swapcontext(&main_context_, &fiber->context_);
+#endif
   current_ = nullptr;
+  // A finished fiber's context never runs again: recycle the stack now,
+  // not when the last FiberPtr dies, so spawn churn reuses stacks
+  // immediately.
+  if (fiber->finished()) fiber->release_stack();
 }
 
 void Engine::fiber_exited() {
@@ -160,7 +267,11 @@ WakeReason Engine::block() {
   if (f->killed_) throw FiberKilled{};
   f->state_ = FiberState::kBlocked;
   ++f->wait_epoch_;
+#if STARFISH_FAST_CONTEXT
+  starfish_ctx_swap(&f->ctx_sp_, main_sp_);
+#else
   swapcontext(&f->context_, &main_context_);
+#endif
   // Resumed.
   if (f->wake_reason_ == WakeReason::kKilled || f->killed_) throw FiberKilled{};
   return f->wake_reason_;
@@ -172,7 +283,8 @@ WakeReason Engine::block_until(Time deadline) {
   if (f->killed_) throw FiberKilled{};
   const uint64_t epoch = f->wait_epoch_ + 1;  // epoch this block will have
   // Capture a shared_ptr: the timer may outlive the fiber if it is woken
-  // early by a signal and then finishes.
+  // early by a signal and then finishes. The capture set (this + keep +
+  // epoch) fits SmallFn's inline buffer, so no allocation.
   schedule(deadline - now_ < 0 ? 0 : deadline - now_,
            [this, keep = f->shared_from_this(), epoch] {
              if (keep->state_ == FiberState::kBlocked && keep->wait_epoch_ == epoch) {
@@ -190,16 +302,9 @@ void Engine::wake(Fiber* fiber, WakeReason reason) {
   if (fiber == nullptr || fiber->state_ != FiberState::kBlocked) return;
   fiber->state_ = FiberState::kRunnable;
   fiber->wake_reason_ = reason;
-  const uint64_t epoch = fiber->wait_epoch_;
-  schedule(0, [this, keep = fiber->shared_from_this(), epoch] {
-    // The epoch and state checks make stale or duplicate wake events
-    // harmless (the fiber may already have resumed and re-blocked).
-    if (keep->state_ == FiberState::kRunnable && keep->wait_epoch_ == epoch &&
-        !keep->finished()) {
-      resume(keep.get());
-    }
-  });
+  // O(1) ready-ring enqueue: no heap round-trip, no callback allocation on
+  // the dominant block/wake/resume cycle. The seq keeps global order.
+  ready_.push(ReadyEntry{now_, next_seq_++, fiber->shared_from_this(), fiber->wait_epoch_});
 }
-
 
 }  // namespace starfish::sim

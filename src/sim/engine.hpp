@@ -4,17 +4,27 @@
 // order, so two runs with the same seed are identical. Fibers are resumed by
 // events; blocking primitives park the current fiber and schedule/await a
 // wake event.
+//
+// Hot-path layout (see DESIGN.md section 11): timer events live in
+// slab-pooled records with inline callback storage (SmallFn) ordered by a
+// 4-ary min-heap of trivially-copyable (time, seq, node) entries; same-
+// timestamp wakeups bypass the heap entirely through a FIFO ready ring.
+// Dispatch interleaves the two by (time, seq), which is exactly the order
+// the old single priority queue produced — the engine_golden_test goldens
+// pin that equivalence.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <string>
 #include <vector>
 
 #include "obs/obs.hpp"
 #include "sim/fiber.hpp"
+#include "sim/small_fn.hpp"
+#include "sim/stack_pool.hpp"
 #include "sim/time.hpp"
 #include "util/rng.hpp"
 
@@ -47,6 +57,9 @@ class Engine {
     obs_runq_ = hub ? &hub->metrics.histogram("sim.run_queue_depth",
                                               obs::HistogramSpec::exponential(1, 2.0, 20))
                     : nullptr;
+    obs_fn_heap_ = hub ? &hub->metrics.counter("sim.event_fn_heap") : nullptr;
+    obs_stack_hits_ = hub ? &hub->metrics.counter("sim.stack_pool.hits") : nullptr;
+    obs_stack_misses_ = hub ? &hub->metrics.counter("sim.stack_pool.misses") : nullptr;
   }
   /// The tracer when attached and enabled, else nullptr — the one-branch
   /// guard every trace call site uses.
@@ -54,9 +67,18 @@ class Engine {
     return obs_ != nullptr && obs_->tracer.enabled() ? &obs_->tracer : nullptr;
   }
 
-  /// Schedules a plain callback at now() + delay. Callbacks run on the main
-  /// context and must not block.
-  void schedule(Duration delay, std::function<void()> fn);
+  /// Schedules a callback at now() + delay. Callbacks run on the main
+  /// context and must not block. Captures up to SmallFn::kInlineBytes are
+  /// constructed directly inside the pooled event record — no allocation,
+  /// no callable move.
+  template <typename F>
+  void schedule(Duration delay, F&& fn) {
+    assert(delay >= 0);
+    EventNode* n = pool_.acquire();
+    n->fn.emplace(std::forward<F>(fn));
+    if (obs_fn_heap_ != nullptr && n->fn.heap_allocated()) obs_fn_heap_->add(1);
+    timers_.push(TimerEntry{now_ + delay, next_seq_++, n});
+  }
 
   /// Creates a fiber and schedules it to start at now() + delay.
   FiberPtr spawn(std::string name, std::function<void()> body, Duration delay = 0);
@@ -71,8 +93,11 @@ class Engine {
   /// Runs events with timestamp <= now()+d, then sets now() = start+d.
   void run_for(Duration d);
   /// True if no events remain.
-  bool idle() const { return queue_.empty(); }
+  bool idle() const { return timers_.empty() && ready_.empty(); }
   uint64_t events_executed() const { return events_executed_; }
+
+  /// The shared fiber-stack recycling pool (stats for tests and reporting).
+  const StackPool& stack_pool() const { return *stack_pool_; }
 
   // --- Fiber-side API (call only from inside a fiber) ---
 
@@ -96,21 +121,120 @@ class Engine {
   /// Parks with a deadline; returns kTimer if the deadline fired first.
   WakeReason block_until(Time deadline);
 
-  /// Wakes a blocked fiber (no-op if not blocked or already woken).
+  /// Wakes a blocked fiber (no-op if not blocked or already woken). The
+  /// resume is queued on the ready ring — O(1), no heap traffic, no
+  /// allocation — and dispatched in global (time, seq) order.
   void wake(Fiber* fiber, WakeReason reason = WakeReason::kSignal);
 
  private:
   friend class Fiber;
 
-  struct Event {
+  /// Pooled timer event: callback storage that never moves once scheduled.
+  /// Nodes are recycled through an intrusive free list; slabs are only ever
+  /// appended, so node pointers stay stable across scheduling from inside
+  /// event callbacks.
+  struct EventNode {
+    SmallFn fn;
+    EventNode* next_free = nullptr;
+  };
+
+  class EventPool {
+   public:
+    EventNode* acquire() {
+      if (free_ == nullptr) grow();
+      EventNode* n = free_;
+      free_ = n->next_free;
+      n->next_free = nullptr;
+      return n;
+    }
+    /// Destroys the callable and returns the node to the free list.
+    void release(EventNode* n) {
+      n->fn.reset();
+      n->next_free = free_;
+      free_ = n;
+    }
+
+   private:
+    static constexpr size_t kSlabNodes = 256;
+    void grow();
+    std::vector<std::unique_ptr<EventNode[]>> slabs_;
+    EventNode* free_ = nullptr;
+  };
+
+  /// What the heap actually sifts: 24 trivially-copyable bytes per event.
+  struct TimerEntry {
     Time at;
     uint64_t seq;
-    std::function<void()> fn;
-    bool operator>(const Event& o) const {
-      if (at != o.at) return at > o.at;
-      return seq > o.seq;
-    }
+    EventNode* node;
   };
+
+  /// 4-ary min-heap on (at, seq): shallower than binary for the same size,
+  /// pops move entries instead of copying callables.
+  class TimerHeap {
+   public:
+    bool empty() const { return v_.empty(); }
+    size_t size() const { return v_.size(); }
+    const TimerEntry& top() const { return v_[0]; }
+    void push(TimerEntry e) {
+      size_t i = v_.size();
+      v_.push_back(e);  // placeholder; the hole walks up
+      while (i > 0) {
+        const size_t parent = (i - 1) / kArity;
+        if (!before(e, v_[parent])) break;
+        v_[i] = v_[parent];
+        i = parent;
+      }
+      v_[i] = e;
+    }
+    TimerEntry pop();
+
+   private:
+    static constexpr size_t kArity = 4;
+    static bool before(const TimerEntry& a, const TimerEntry& b) {
+      return a.at != b.at ? a.at < b.at : a.seq < b.seq;
+    }
+    std::vector<TimerEntry> v_;
+  };
+
+  /// A woken fiber waiting its turn; carries the keep-alive the old wake
+  /// lambda captured and the epoch that makes stale wakes harmless.
+  struct ReadyEntry {
+    Time at = 0;
+    uint64_t seq = 0;
+    FiberPtr fiber;
+    uint64_t epoch = 0;
+  };
+
+  /// Power-of-two ring buffer; push/pop never allocate at steady state.
+  class ReadyQueue {
+   public:
+    bool empty() const { return count_ == 0; }
+    size_t size() const { return count_; }
+    const ReadyEntry& front() const { return buf_[head_]; }
+    void push(ReadyEntry e) {
+      if (count_ == buf_.size()) grow();
+      buf_[(head_ + count_) & mask_] = std::move(e);
+      ++count_;
+    }
+    ReadyEntry pop() {
+      ReadyEntry e = std::move(buf_[head_]);
+      head_ = (head_ + 1) & mask_;
+      --count_;
+      return e;
+    }
+
+   private:
+    void grow();
+    std::vector<ReadyEntry> buf_;
+    size_t head_ = 0;
+    size_t count_ = 0;
+    size_t mask_ = 0;
+  };
+
+  /// Dispatches the next event in (time, seq) order across the ready ring
+  /// and the timer heap; returns false when none remains at <= deadline.
+  bool dispatch_one(Time deadline);
+  void note_event_dispatched(size_t remaining);
 
   void resume(Fiber* fiber);
   void fiber_exited();
@@ -122,13 +246,27 @@ class Engine {
   obs::Counter* obs_events_ = nullptr;
   obs::Counter* obs_switches_ = nullptr;
   obs::Histogram* obs_runq_ = nullptr;
+  obs::Counter* obs_fn_heap_ = nullptr;
+  obs::Counter* obs_stack_hits_ = nullptr;
+  obs::Counter* obs_stack_misses_ = nullptr;
   uint64_t next_seq_ = 0;
   uint64_t next_fiber_id_ = 1;
   uint64_t events_executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+
+  /// Shared with every Fiber: FiberPtrs held by user code may outlive the
+  /// engine, and their stacks must still find their way back.
+  std::shared_ptr<StackPool> stack_pool_ = std::make_shared<StackPool>();
+  EventPool pool_;
+  TimerHeap timers_;
+  ReadyQueue ready_;
 
   Fiber* current_ = nullptr;
+#if STARFISH_FAST_CONTEXT
+  /// Main context's saved stack pointer while a fiber runs.
+  void* main_sp_ = nullptr;
+#else
   ucontext_t main_context_{};
+#endif
   /// Keeps fibers alive; swept opportunistically when finished.
   std::vector<FiberPtr> fibers_;
 };

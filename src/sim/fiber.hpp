@@ -14,6 +14,9 @@
 #include <memory>
 #include <string>
 
+#include "sim/context.hpp"
+#include "sim/stack_pool.hpp"
+
 namespace starfish::sim {
 
 class Engine;
@@ -42,8 +45,16 @@ class Fiber : public std::enable_shared_from_this<Fiber> {
 
  private:
   friend class Engine;
+#if STARFISH_FAST_CONTEXT
+  static void fast_entry(void* arg);
+#else
   static void trampoline_entry(unsigned hi, unsigned lo);
+#endif
   void run_body();
+  /// Returns the stack to the pool; the engine calls this as soon as the
+  /// fiber finishes (its context will never be resumed again), so churning
+  /// workloads recycle stacks without waiting for the FiberPtr to die.
+  void release_stack();
 
   Engine& engine_;
   std::string name_;
@@ -56,7 +67,15 @@ class Fiber : public std::enable_shared_from_this<Fiber> {
   /// Incremented on every block; stale wake events compare against it.
   uint64_t wait_epoch_ = 0;
 
+#if STARFISH_FAST_CONTEXT
+  /// Saved stack pointer while suspended (see sim/context.hpp).
+  void* ctx_sp_ = nullptr;
+#else
   ucontext_t context_{};
+#endif
+  /// Owns the recycling pool jointly with the engine: a FiberPtr held by
+  /// user code can outlive the engine, and ~Fiber must still release.
+  std::shared_ptr<StackPool> pool_;
   void* stack_base_ = nullptr;  // mmap'd region including guard page
   size_t stack_total_ = 0;
 };

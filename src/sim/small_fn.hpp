@@ -1,0 +1,128 @@
+// Inline small-callback storage for engine events.
+//
+// std::function is the wrong shape for a discrete-event hot path: libstdc++
+// inlines only 16 bytes of capture, so every wake/timer lambda that carries
+// a shared_ptr keep-alive plus an epoch heap-allocates, and the copyability
+// requirement forces the old priority queue to deep-copy callables on every
+// pop. SmallFn is the replacement: move-only, kInlineBytes of in-place
+// capture (sized so every engine-internal lambda fits), and a single-
+// allocation heap fallback for oversized captures from higher layers.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace starfish::sim {
+
+class SmallFn {
+ public:
+  /// Covers every engine-internal lambda (this + shared_ptr + epoch) and the
+  /// common net/gcs capture sets; measured fallbacks are counted by the
+  /// engine's sim.event_fn_heap metric.
+  static constexpr size_t kInlineBytes = 64;
+
+  SmallFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, SmallFn> &&
+                                        std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for std::function
+    emplace(std::forward<F>(f));
+  }
+
+  /// Constructs the callable in place (no SmallFn move); *this must be
+  /// empty or reset() first.
+  template <typename F>
+  void emplace(F&& f) {
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &heap_ops<Fn>;
+    }
+  }
+
+  SmallFn(SmallFn&& o) noexcept { move_from(o); }
+  SmallFn& operator=(SmallFn&& o) noexcept {
+    if (this != &o) {
+      reset();
+      move_from(o);
+    }
+    return *this;
+  }
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+  ~SmallFn() { reset(); }
+
+  void operator()() { ops_->invoke(buf_); }
+  explicit operator bool() const { return ops_ != nullptr; }
+  /// True when the callable was too large for the inline buffer.
+  bool heap_allocated() const { return ops_ != nullptr && ops_->heap; }
+
+  /// Destroys the held callable (and any heap fallback); leaves *this empty.
+  /// Trivially-destructible inline callables skip the indirect call — the
+  /// dominant case on the event hot path.
+  void reset() {
+    if (ops_ != nullptr) {
+      if (!ops_->trivial_destroy) ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    /// Move-construct dst from src and destroy src (stack-to-node transfer).
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+    bool heap;
+    bool trivial_destroy;
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  static constexpr Ops inline_ops = {
+      [](void* p) { (*std::launder(reinterpret_cast<Fn*>(p)))(); },
+      [](void* dst, void* src) {
+        Fn* s = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*s));
+        s->~Fn();
+      },
+      [](void* p) { std::launder(reinterpret_cast<Fn*>(p))->~Fn(); },
+      false,
+      std::is_trivially_destructible_v<Fn>,
+  };
+
+  template <typename Fn>
+  static constexpr Ops heap_ops = {
+      [](void* p) { (**std::launder(reinterpret_cast<Fn**>(p)))(); },
+      [](void* dst, void* src) {
+        ::new (dst) Fn*(*std::launder(reinterpret_cast<Fn**>(src)));
+      },
+      [](void* p) { delete *std::launder(reinterpret_cast<Fn**>(p)); },
+      true,
+      false,
+  };
+
+  void move_from(SmallFn& o) noexcept {
+    ops_ = o.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, o.buf_);
+      o.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace starfish::sim

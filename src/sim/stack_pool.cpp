@@ -1,0 +1,71 @@
+#include "sim/stack_pool.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace starfish::sim {
+
+namespace {
+size_t page_size() {
+  static const size_t page = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+  return page;
+}
+}  // namespace
+
+StackPool::~StackPool() {
+  for (Bucket& b : buckets_) {
+    for (void* base : b.free) munmap(base, b.total);
+  }
+}
+
+StackPool::Bucket& StackPool::bucket_for(size_t total) {
+  for (Bucket& b : buckets_) {
+    if (b.total == total) return b;
+  }
+  buckets_.push_back(Bucket{total, {}});
+  return buckets_.back();
+}
+
+StackPool::Allocation StackPool::acquire(size_t stack_bytes) {
+  const size_t total = stack_bytes + page_size();
+  Bucket& b = bucket_for(total);
+  if (!b.free.empty()) {
+    void* base = b.free.back();
+    b.free.pop_back();
+    ++hits_;
+    return {base, total, /*reused=*/true};
+  }
+  void* base = mmap(nullptr, total, PROT_READ | PROT_WRITE, MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (base == MAP_FAILED) {
+    std::perror("starfish: fiber stack mmap");
+    std::abort();
+  }
+  // Guard page at the low end catches stack overflow with a SIGSEGV instead
+  // of silent corruption; it stays protected for the mapping's whole pooled
+  // lifetime, so reuse never repeats the mprotect.
+  mprotect(base, page_size(), PROT_NONE);
+  ++misses_;
+  return {base, total, /*reused=*/false};
+}
+
+void StackPool::release(void* base, size_t total) {
+  if (base == nullptr) return;
+  Bucket& b = bucket_for(total);
+  if (b.free.size() < kMaxFreePerBucket) {
+    b.free.push_back(base);
+  } else {
+    munmap(base, total);
+    ++retired_;
+  }
+}
+
+size_t StackPool::cached() const {
+  size_t n = 0;
+  for (const Bucket& b : buckets_) n += b.free.size();
+  return n;
+}
+
+}  // namespace starfish::sim

@@ -515,6 +515,60 @@ TEST(Machine, Table2HasSixEntriesMatchingPaper) {
   for (size_t i = 0; i < 5; ++i) EXPECT_EQ(machines[i].word_bytes, 4);
 }
 
+// ------------------------------------------------------------ StackPool ----
+
+TEST(StackPool, ReusesSameSizeBucketAndCountsStats) {
+  StackPool pool;
+  const auto a = pool.acquire(64 * 1024);
+  EXPECT_FALSE(a.reused);
+  pool.release(a.base, a.total);
+  const auto b = pool.acquire(64 * 1024);
+  EXPECT_TRUE(b.reused);
+  EXPECT_EQ(b.base, a.base);  // same mapping came back, guard page intact
+  const auto c = pool.acquire(128 * 1024);
+  EXPECT_FALSE(c.reused);  // different size, different bucket
+  pool.release(b.base, b.total);
+  pool.release(c.base, c.total);
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.misses(), 2u);
+  EXPECT_EQ(pool.cached(), 2u);
+  EXPECT_EQ(pool.retired(), 0u);
+}
+
+TEST(StackPool, RecyclesStacksAcrossTenThousandChurnedFibers) {
+  // Spawn/kill churn: 200 waves of 50 fibers (10k total), mixing normal
+  // exits with kills that unwind blocked fibers via FiberKilled. Wave size
+  // stays under kMaxFreePerBucket, so after the first wave warms the pool
+  // every stack is recycled — the steady state makes zero mmap syscalls.
+  Engine eng;
+  constexpr uint64_t kWaves = 200;
+  constexpr uint64_t kPerWave = 50;
+  eng.spawn("driver", [&] {
+    for (uint64_t w = 0; w < kWaves; ++w) {
+      std::vector<FiberPtr> wave;
+      for (uint64_t i = 0; i < kPerWave; ++i) {
+        if (i % 4 == 0) {
+          wave.push_back(eng.spawn("victim", [&] { eng.sleep(seconds(10)); }));
+        } else {
+          wave.push_back(eng.spawn("worker", [&] { eng.sleep(microseconds(1)); }));
+        }
+      }
+      eng.sleep(microseconds(2));  // workers finish; victims still blocked
+      for (auto& f : wave) eng.kill(f);
+      eng.sleep(microseconds(2));  // kill-wakes dispatch and unwind
+    }
+  });
+  eng.run();
+
+  const StackPool& pool = eng.stack_pool();
+  EXPECT_EQ(pool.hits() + pool.misses(), kWaves * kPerWave + 1);  // +1 driver
+  // Only the first wave (plus the driver) should miss.
+  EXPECT_LE(pool.misses(), kPerWave + 1);
+  EXPECT_GE(pool.hits(), (kWaves - 1) * kPerWave);
+  // Retained memory stays bounded by the bucket cap.
+  EXPECT_LE(pool.cached(), StackPool::kMaxFreePerBucket);
+}
+
 TEST(Machine, ReprCodeDistinguishesRepresentations) {
   auto machines = table2_machines();
   // i686 Linux and WinNT P-II share a representation; Sun differs.
