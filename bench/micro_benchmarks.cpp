@@ -13,6 +13,8 @@
 #include "sim/engine.hpp"
 #include "sim/sync.hpp"
 #include "util/buffer.hpp"
+#include "vm/bytecode.hpp"
+#include "vm/interp.hpp"
 
 using namespace starfish;
 
@@ -265,6 +267,144 @@ void BM_IncrementalEncodeHashed(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * kIncrStateBytes);
 }
 BENCHMARK(BM_IncrementalEncodeHashed);
+
+// --- VM instruction dispatch -------------------------------------------
+//
+// The VM is the compute substrate of fig4/table2: every simulated
+// application instruction goes through Interpreter::run. These benches pin
+// the three shapes that dominate real programs — a tight arithmetic loop
+// (the canonical accumulate/increment/compare/branch idiom), call-heavy
+// recursion, and the syscall round-trip into the host and back.
+
+vm::Program must_assemble_bench(const std::string& src) {
+  auto r = vm::assemble(src);
+  if (!r.ok()) {
+    fprintf(stderr, "bench program failed to assemble: %s\n",
+            r.error().to_string().c_str());
+    abort();
+  }
+  return std::move(r).take();
+}
+
+// sum 1..20000 via locals: 20k iterations x 14 instructions + prologue.
+const char* kVmArithLoopSrc = R"(
+func main 0 2
+  push_int 0
+  store_local 0
+  push_int 1
+  store_local 1
+loop:
+  load_local 1
+  push_int 20000
+  le
+  jmp_if_false done
+  load_local 0
+  load_local 1
+  add
+  store_local 0
+  load_local 1
+  push_int 1
+  add
+  store_local 1
+  jmp loop
+done:
+  load_local 0
+  halt
+)";
+
+void BM_VmArithLoop(benchmark::State& state) {
+  vm::Program prog = must_assemble_bench(kVmArithLoopSrc);
+  uint64_t steps = 0;
+  for (auto _ : state) {
+    vm::Interpreter interp(prog, sim::default_machine());
+    interp.start();
+    auto r = interp.run();
+    if (r.status != vm::RunStatus::kHalted) abort();
+    steps = interp.state().steps_executed;
+    benchmark::DoNotOptimize(interp.state().stack.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(steps));
+}
+BENCHMARK(BM_VmArithLoop);
+
+// fib(18) by naive recursion: ~8k calls, each a frame push/arg move/ret.
+void BM_VmCallHeavy(benchmark::State& state) {
+  vm::Program prog = must_assemble_bench(R"(
+func main 0 0
+  push_int 18
+  call fib
+  halt
+func fib 1 1
+  load_local 0
+  push_int 2
+  lt
+  jmp_if_false rec
+  load_local 0
+  ret
+rec:
+  load_local 0
+  push_int 1
+  sub
+  call fib
+  load_local 0
+  push_int 2
+  sub
+  call fib
+  add
+  ret
+)");
+  uint64_t steps = 0;
+  for (auto _ : state) {
+    vm::Interpreter interp(prog, sim::default_machine());
+    interp.start();
+    auto r = interp.run();
+    if (r.status != vm::RunStatus::kHalted) abort();
+    steps = interp.state().steps_executed;
+    benchmark::DoNotOptimize(interp.state().stack.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(steps));
+}
+BENCHMARK(BM_VmCallHeavy);
+
+// 1000 rank syscalls serviced by the host: run-to-syscall, push the reply,
+// complete, resume — the exact control transfer run_vm_app makes per call.
+void BM_VmSyscallRoundtrip(benchmark::State& state) {
+  vm::Program prog = must_assemble_bench(R"(
+func main 0 1
+  push_int 0
+  store_local 0
+loop:
+  syscall rank
+  pop
+  load_local 0
+  push_int 1
+  add
+  store_local 0
+  load_local 0
+  push_int 1000
+  lt
+  jmp_if_false done
+  jmp loop
+done:
+  halt
+)");
+  for (auto _ : state) {
+    vm::Interpreter interp(prog, sim::default_machine());
+    interp.start();
+    for (;;) {
+      auto r = interp.run();
+      if (r.status == vm::RunStatus::kHalted) break;
+      if (r.status != vm::RunStatus::kSyscall) abort();
+      interp.push_value(vm::Value::integer(3));
+      interp.complete_syscall();
+    }
+    benchmark::DoNotOptimize(interp.state().steps_executed);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);  // round-trips
+}
+BENCHMARK(BM_VmSyscallRoundtrip);
 
 void BM_GcsWireRoundtrip(benchmark::State& state) {
   gcs::WireMsg msg;

@@ -10,7 +10,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build-asan -S . -DSTARFISH_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+# The ASan tree forces the VM's portable switch dispatch loop
+# (-DSTARFISH_VM_SWITCH_DISPATCH=ON): together with the default
+# computed-goto tree in build/, both dispatchers run the full suite —
+# including the VM differential tests — under at least one configuration.
+cmake -B build-asan -S . -DSTARFISH_SANITIZE=address -DSTARFISH_VM_SWITCH_DISPATCH=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-asan -j
 # Leak checking is off: simulated host crashes abandon ucontext fiber stacks
 # without unwinding, so locals parked on them are unreachable-but-expected.
@@ -38,6 +42,10 @@ cd build-asan
 # ucontext fallback (STARFISH_FAST_CONTEXT is off under ASan), so a passing
 # run here proves both context-switch implementations replay one history.
 [ "$(ctest -N | grep -c "EngineGolden")" -gt 0 ] || { echo "engine golden tests missing from ctest registration" >&2; exit 1; }
+# The VM differential suite must run under the sanitizer with the switch
+# dispatcher forced: it pins fast-vs-checked and fused-vs-unfused
+# equivalence, which is exactly what this tree's configuration exercises.
+[ "$(ctest -N | grep -c "VmDifferential")" -gt 0 ] || { echo "vm differential tests missing from ctest registration" >&2; exit 1; }
 # (-R before -j: ctest's -j greedily consumes the following argument.)
 STARFISH_OBS_FORCE=1 ctest --output-on-failure -R '^Obs' -j "$@"
 ctest --output-on-failure -j "$@"

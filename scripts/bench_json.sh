@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Machine-readable benchmark runner: builds a Release tree and writes a
 # BENCH_*.json snapshot at the repo root (name = first argument, default
-# BENCH_PR4.json), combining
+# BENCH_PR5.json), combining
 #   - google-benchmark's native JSON for the host micro benches, and
 #   - the --json runner mode of fig3/fig4/fig5 (host wall-clock, simulated
 #     ns and simulator events/sec per run).
@@ -9,7 +9,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT_NAME="${1:-BENCH_PR4.json}"
+OUT_NAME="${1:-BENCH_PR5.json}"
 BUILD=build-bench
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" -j --target \

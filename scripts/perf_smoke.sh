@@ -12,7 +12,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD=build-bench
-FILTER='BM_Engine|BM_Fiber|BM_Channel'
+FILTER='BM_Engine|BM_Fiber|BM_Channel|BM_Vm'
 BASELINE=scripts/perf_baseline.json
 
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null

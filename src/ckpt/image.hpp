@@ -12,6 +12,12 @@
 // concise representation descriptor; the restore path converts endianness
 // and word length to the target machine. An empty program costs only 260 KB
 // (Figure 4) because the VM run-time itself is not part of the image.
+//
+// Images are defined over VmState in ORIGINAL bytecode coordinates. The
+// interpreter's execution engine (vm/exec.hpp) never leaks its prepared or
+// fused representation into frames, pcs or step counts, so the bytes
+// portable_encode produces are identical across fast/checked/fused
+// dispatch configurations — the differential tests pin this.
 #pragma once
 
 #include <cstdint>

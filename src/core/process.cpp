@@ -100,6 +100,7 @@ ApplicationProcess::ApplicationProcess(net::Network& net, sim::Host& host,
   cr_ = std::make_unique<CrModule>(*this);
   if (const vm::Program* prog = registry_.program(request_.job.binary)) {
     interp_ = std::make_unique<vm::Interpreter>(*prog, host.machine());
+    interp_->set_obs(net.engine().obs());  // sim.vm.* dispatch counters
   }
 
   // Wire the modules together over the bus and the MPI control hooks.
@@ -349,6 +350,29 @@ void ApplicationProcess::service_syscall(vm::Interpreter& interp, vm::Syscall sy
   using vm::Syscall;
   using vm::Tag;
   using vm::Value;
+  // Arity precheck: every argument a syscall consumes must actually be on
+  // the operand stack. Peeking past the end yields unit — which for
+  // recv_from would silently turn an underflow into an any-source receive
+  // that can block forever — and popping past the end is a protocol
+  // violation the interpreter reports as a trap. Fail loudly instead.
+  const auto arity = [](Syscall s) -> size_t {
+    switch (s) {
+      case Syscall::kPrint:
+      case Syscall::kRecvFrom:
+      case Syscall::kSleepMs:
+      case Syscall::kSpin:
+      case Syscall::kAllreduceSum:
+        return 1;
+      case Syscall::kSendTo:
+        return 2;
+      default:
+        return 0;
+    }
+  };
+  if (interp.stack_depth() < arity(syscall)) {
+    fail_app("syscall operand underflow");
+    throw sim::FiberKilled{};
+  }
   switch (syscall) {
     case Syscall::kPrint: {
       Value v = interp.pop_value();

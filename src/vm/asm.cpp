@@ -11,6 +11,7 @@
 
 #include "util/strings.hpp"
 #include "vm/bytecode.hpp"
+#include "vm/exec.hpp"
 
 namespace starfish::vm {
 
@@ -191,6 +192,113 @@ util::Result<Program> assemble(const std::string& source) {
     prog.functions[c.fn].code[c.instr].imm_i = idx;
   }
   return prog;
+}
+
+// ------------------------------------------------------------ peephole ----
+//
+// Superinstruction fusion over the decoded stream. The pass matches hot
+// idioms on the ORIGINAL instruction sequence and rewrites only the entry
+// at the idiom's first pc; the shadowed entries keep their own decodings so
+// a jump into the middle of a fused region executes the tail unfused. A
+// fused entry advances pc and the step count by the full component count,
+// so execution histories — and the checkpoint images portable_encode cuts
+// from them — are indistinguishable from the unfused interpreter's.
+//
+// Fusion requires every component to be verifier-fast: the superinstruction
+// bodies elide the same checks the components' fast forms elide.
+
+namespace {
+
+bool is_int_arith(Op op) { return op == Op::kAdd || op == Op::kSub || op == Op::kMul; }
+bool is_compare(Op op) {
+  return op == Op::kEq || op == Op::kNe || op == Op::kLt || op == Op::kLe ||
+         op == Op::kGt || op == Op::kGe;
+}
+
+}  // namespace
+
+void peephole_fuse(const Function& fn, const FunctionFacts& facts,
+                   std::vector<DecodedInstr>& code) {
+  const size_t n = fn.code.size();
+  auto fast_run = [&](size_t p, size_t len) {
+    if (p + len > n) return false;
+    for (size_t k = p; k < p + len; ++k) {
+      if (!facts.fast[k]) return false;
+    }
+    return true;
+  };
+
+  for (size_t p = 0; p < n; ++p) {
+    const Op op0 = fn.code[p].op;
+
+    // load_local s, push_int c, add|sub, store_local d  ->  kFusedIncLocal
+    if (op0 == Op::kLoadLocal && fast_run(p, 4) && fn.code[p + 1].op == Op::kPushInt &&
+        (fn.code[p + 2].op == Op::kAdd || fn.code[p + 2].op == Op::kSub) &&
+        fn.code[p + 3].op == Op::kStoreLocal) {
+      DecodedInstr d;
+      d.op = XOp::kFusedIncLocal;
+      d.len = 4;
+      d.aux = static_cast<uint8_t>(fn.code[p + 2].op);
+      d.b = static_cast<uint32_t>(fn.code[p].imm_i);
+      d.c = static_cast<uint32_t>(fn.code[p + 3].imm_i);
+      d.imm.i = code[p + 1].imm.i;  // pre-wrapped by prepare_program
+      code[p] = d;
+      continue;
+    }
+
+    // load_local s, push_int c, <cmp>, jmp_if_false t  ->  kFusedLoadCmpBr
+    // (cmp fast against a push_int => the local is proven Int)
+    if (op0 == Op::kLoadLocal && fast_run(p, 4) && fn.code[p + 1].op == Op::kPushInt &&
+        is_compare(fn.code[p + 2].op) && fn.code[p + 3].op == Op::kJmpIfFalse) {
+      DecodedInstr d;
+      d.op = XOp::kFusedLoadCmpBr;
+      d.len = 4;
+      d.aux = static_cast<uint8_t>(fn.code[p + 2].op);
+      d.b = static_cast<uint32_t>(fn.code[p].imm_i);
+      d.c = static_cast<uint32_t>(fn.code[p + 3].imm_i);
+      d.imm.i = code[p + 1].imm.i;
+      code[p] = d;
+      continue;
+    }
+
+    // load_local a, load_local b, add|sub|mul [, store_local dst]
+    if (op0 == Op::kLoadLocal && fn.code.size() > p + 2 &&
+        fn.code[p + 1].op == Op::kLoadLocal && is_int_arith(fn.code[p + 2].op)) {
+      if (fast_run(p, 4) && fn.code[p + 3].op == Op::kStoreLocal) {
+        DecodedInstr d;
+        d.op = XOp::kFusedLoadLoadArithSt;
+        d.len = 4;
+        d.aux = static_cast<uint8_t>(fn.code[p + 2].op);
+        d.b = static_cast<uint32_t>(fn.code[p].imm_i);
+        d.c = static_cast<uint32_t>(fn.code[p + 1].imm_i);
+        d.imm.i = fn.code[p + 3].imm_i;
+        code[p] = d;
+        continue;
+      }
+      if (fast_run(p, 3)) {
+        DecodedInstr d;
+        d.op = XOp::kFusedLoadLoadArith;
+        d.len = 3;
+        d.aux = static_cast<uint8_t>(fn.code[p + 2].op);
+        d.b = static_cast<uint32_t>(fn.code[p].imm_i);
+        d.c = static_cast<uint32_t>(fn.code[p + 1].imm_i);
+        code[p] = d;
+        continue;
+      }
+    }
+
+    // <cmp>, jmp_if_false t  ->  kFusedCmpBr
+    if (is_compare(op0) && fast_run(p, 2) && fn.code[p + 1].op == Op::kJmpIfFalse) {
+      DecodedInstr d;
+      d.op = XOp::kFusedCmpBr;
+      d.len = 2;
+      d.aux = static_cast<uint8_t>(op0);
+      d.b = static_cast<uint32_t>(fn.code[p + 1].imm_i);
+      d.c = facts.operand_tag[p];  // proven operand class of the compare
+      code[p] = d;
+      continue;
+    }
+  }
 }
 
 }  // namespace starfish::vm

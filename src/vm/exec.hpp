@@ -1,0 +1,115 @@
+// Prepared (decoded) code for the fast dispatcher.
+//
+// The interpreter never executes `Function::code` directly on its hot path.
+// At construction it lowers each function into a DecodedInstr stream indexed
+// by the ORIGINAL pc: entry `pc` holds the decoding that starts at that pc.
+// A superinstruction at `pc` covers `len` original instructions; the entries
+// it shadows (`pc+1 .. pc+len-1`) still hold their own valid decodings, so a
+// jump into the middle of a fused region lands on ordinary code. Because
+// frames keep original pc coordinates and `steps_executed` is charged one
+// per ORIGINAL instruction, the execution history — and therefore every
+// checkpoint image `ckpt::portable_encode` produces — is bit-identical to
+// the unfused, unprepared interpreter's.
+//
+// Which entries may elide runtime checks is decided by the verifier
+// (`vm::analyze`): an instruction whose stack depth and operand tags are
+// proven at load time is lowered to its unchecked XOp; anything unproven
+// (or proven to trap) is lowered to XOp::kChecked, which defers to the
+// original fully-checked single-step — preserving every trap message.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vm/bytecode.hpp"
+#include "vm/value.hpp"
+#include "vm/verify.hpp"
+
+namespace starfish::vm {
+
+/// Extended opcode space of the fast loop. Values 0..kBaseOpCount-1 mirror
+/// `Op` exactly (decode is a cast); the tail adds the checked escape and the
+/// fused superinstructions. The dispatch table is indexed by this value, so
+/// the numbering here and the label/case order in interp.cpp must agree.
+enum class XOp : uint8_t {
+  // --- base ops, numerically identical to Op ---
+  kNop = 0,
+  kPushInt, kPushFloat, kPushBool, kPushUnit,
+  kPop, kDup, kSwap,
+  kLoadLocal, kStoreLocal, kLoadGlobal, kStoreGlobal,
+  kAdd, kSub, kMul, kDiv, kMod, kNeg,
+  kFAdd, kFSub, kFMul, kFDiv,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr, kNot,
+  kI2F, kF2I,
+  kJmp, kJmpIfFalse, kCall, kRet, kHalt,
+  kNewArray, kALoad, kAStore, kALen, kNewBytes,
+  kSyscall,
+  // --- escape: run the original checked single-step for this pc ---
+  kChecked,
+  // --- superinstructions (see peephole_fuse) ---
+  kFusedIncLocal,       ///< load_local i, push_int c, add|sub, store_local i
+  kFusedCmpBr,          ///< <compare>, jmp_if_false t
+  kFusedLoadCmpBr,      ///< load_local i, push_int c, <compare>, jmp_if_false t
+  kFusedLoadLoadArith,  ///< load_local a, load_local b, add|sub|mul
+  kFusedLoadLoadArithSt,///< load_local a, load_local b, add|sub|mul, store_local d
+  kCount,
+};
+
+constexpr size_t kXOpCount = static_cast<size_t>(XOp::kCount);
+constexpr size_t kBaseOpCount = static_cast<size_t>(Op::kSyscall) + 1;
+
+/// One decoded entry. Field use by XOp:
+///  - base fast ops: `imm.i` / `imm.f` carry the original immediate
+///    (push_int immediates are pre-wrapped to the interpreter's machine
+///    word); compares and neg carry the verifier-proven operand tag class in
+///    `aux`.
+///  - kChecked: no operands; the escape re-fetches the original Instr.
+///  - kFusedIncLocal: b = source slot, c = destination slot (b == c for
+///    the canonical increment), imm.i = pre-wrapped constant, aux = Op
+///    (kAdd or kSub).
+///  - kFusedCmpBr: aux = compare Op, b = branch target, c = operand tag.
+///  - kFusedLoadCmpBr: b = local slot, imm.i = pre-wrapped constant,
+///    aux = compare Op, c = branch target (operands proven Int).
+///  - kFusedLoadLoadArith[St]: b/c = source slots, aux = arithmetic Op,
+///    imm.i = destination slot (St form only).
+struct DecodedInstr {
+  XOp op = XOp::kChecked;
+  uint8_t len = 1;  ///< original instructions covered (fused: 2..4)
+  uint8_t aux = 0;  ///< inner Op / proven Tag, per the table above
+  uint8_t pad = 0;
+  uint32_t b = 0;
+  uint32_t c = 0;
+  union {
+    int64_t i;
+    double f;
+  } imm = {0};
+};
+
+struct PreparedFunction {
+  std::vector<DecodedInstr> code;  ///< same length as Function::code
+  uint32_t max_stack = 0;          ///< verifier's max relative operand depth
+  bool analyzed = false;           ///< depth facts valid (else all-checked)
+};
+
+struct PreparedProgram {
+  std::vector<PreparedFunction> functions;
+  bool any_fast = false;  ///< at least one function carries elided entries
+};
+
+/// Lowers `program` for execution on `machine` (push_int immediates are
+/// pre-wrapped to the machine word): verifier facts pick checked vs fast
+/// entries, then — unless `fuse` is false (differential tests pin
+/// fused/unfused equivalence) — the assembler's peephole pass fuses hot
+/// idioms.
+PreparedProgram prepare_program(const Program& program, const ProgramFacts& facts,
+                                const sim::Machine& machine, bool fuse = true);
+
+/// Assembler-level peephole pass (vm/asm.cpp): rewrites `code[pc]` with
+/// superinstruction entries where a hot idiom's components are all
+/// fast-eligible. Never touches the Program itself, so checkpoint images
+/// decode back to the original sequence untouched.
+void peephole_fuse(const Function& fn, const FunctionFacts& facts,
+                   std::vector<DecodedInstr>& code);
+
+}  // namespace starfish::vm

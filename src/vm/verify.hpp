@@ -1,4 +1,4 @@
-// Static validation and disassembly of bytecode programs.
+// Static validation, load-time analysis and disassembly of bytecode.
 //
 // validate() rejects programs the interpreter would only trap on at run
 // time — out-of-range jump targets, bad call indices, out-of-range local
@@ -6,9 +6,18 @@
 // of mid-job. disassemble() renders a program back to the assembler's text
 // form (round-trippable), which tests use to verify the assembler and
 // humans use to debug.
+//
+// analyze() is the verifier upgrade behind the fast dispatcher: a forward
+// abstract interpretation that proves, per instruction, the exact operand
+// stack depth (relative to function entry) and the tags of the operands an
+// instruction consumes. Instructions whose preconditions are proven run
+// with underflow/type checks elided; everything unproven keeps the original
+// fully-checked execution, so the analysis never changes behavior — it only
+// licenses eliding checks that provably cannot fire.
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "vm/bytecode.hpp"
 
@@ -19,5 +28,34 @@ util::Status validate(const Program& program);
 
 /// Text rendering in the assembler's format (labels synthesized as L<pc>).
 std::string disassemble(const Program& program);
+
+/// Facts proven about one function. When `analyzed` is false nothing was
+/// proven (the dataflow hit a construct it cannot certify — inconsistent
+/// stack depths at a merge point, a pop below the function's entry depth, a
+/// call into a function that itself failed analysis, an unknown syscall id)
+/// and every instruction keeps its runtime checks.
+struct FunctionFacts {
+  bool analyzed = false;
+  /// Per pc: 1 = depth and operand tags proven, checks elidable.
+  std::vector<uint8_t> fast;
+  /// Per pc: for tag-dispatched ops (neg, compares) the proven operand tag
+  /// class (`Tag` value); 0 elsewhere.
+  std::vector<uint8_t> operand_tag;
+  /// Per pc: exact operand-stack depth relative to function entry *before*
+  /// the instruction executes; -1 = unreachable. Valid only when `analyzed`.
+  std::vector<int32_t> depth;
+  /// Max relative depth any reachable instruction produces (reserve hint).
+  uint32_t max_stack = 0;
+};
+
+struct ProgramFacts {
+  std::vector<FunctionFacts> functions;
+  /// At least one function analyzed: the fast dispatcher is worth entering.
+  bool any_fast = false;
+};
+
+/// Abstract interpretation over every function (safe on arbitrary programs,
+/// validated or not; failures just disable elision, never reject).
+ProgramFacts analyze(const Program& program);
 
 }  // namespace starfish::vm

@@ -1,0 +1,394 @@
+// Differential tests for the VM execution engine: the fast dispatcher
+// (computed goto / switch, verifier-elided checks, fused superinstructions)
+// must be observably BIT-IDENTICAL to the original fully-checked loop —
+// same end state, same trap messages, same step counts, same syscall
+// boundaries, and byte-identical portable checkpoint images at every pause.
+//
+// Random programs are generated from seeded fragments (verifier-friendly
+// loops, arithmetic, calls) mixed with raw random instructions (programs
+// that trap or defeat analysis), then driven through all three dispatch
+// configurations in lockstep under an identical slice schedule, with the
+// host servicing syscalls identically.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "ckpt/image.hpp"
+#include "vm/bytecode.hpp"
+#include "vm/interp.hpp"
+
+namespace starfish::vm {
+namespace {
+
+const sim::Machine kM32 = {"i686", "Linux", util::Endian::kLittle, 4};
+const sim::Machine kM64 = {"Alpha", "Linux", util::Endian::kLittle, 8};
+
+using Rng = std::mt19937;
+
+int64_t rnd_int(Rng& rng, int64_t lo, int64_t hi) {
+  return std::uniform_int_distribution<int64_t>(lo, hi)(rng);
+}
+
+// ------------------------------------------------------------ generator ----
+
+void emit(std::vector<Instr>& code, Op op, int64_t imm_i = 0, double imm_f = 0.0) {
+  Instr in;
+  in.op = op;
+  in.imm_i = imm_i;
+  in.imm_f = imm_f;
+  code.push_back(in);
+}
+
+/// Appends one well-formed fragment (keeps the abstract stack balanced and
+/// local/jump operands valid) so generated programs execute long enough to
+/// exercise the fast loop and its fusion patterns.
+void emit_fragment(Rng& rng, std::vector<Instr>& code, uint32_t n_locals,
+                   size_t n_functions) {
+  const int64_t kind = rnd_int(rng, 0, 7);
+  const int64_t l0 = rnd_int(rng, 0, n_locals - 1);
+  const int64_t l1 = rnd_int(rng, 0, n_locals - 1);
+  switch (kind) {
+    case 0:  // int expression
+      emit(code, Op::kPushInt, rnd_int(rng, -1000, 1000));
+      emit(code, Op::kPushInt, rnd_int(rng, -1000, 1000));
+      emit(code, static_cast<Op>(rnd_int(rng, static_cast<int64_t>(Op::kAdd),
+                                         static_cast<int64_t>(Op::kMul))));
+      emit(code, Op::kStoreLocal, l0);
+      break;
+    case 1:  // increment idiom (fuses to kFusedIncLocal)
+      emit(code, Op::kLoadLocal, l0);
+      emit(code, Op::kPushInt, rnd_int(rng, 1, 5));
+      emit(code, rnd_int(rng, 0, 1) ? Op::kAdd : Op::kSub);
+      emit(code, Op::kStoreLocal, l0);
+      break;
+    case 2:  // local-local arithmetic (fuses to kFusedLoadLoadArith[St])
+      emit(code, Op::kLoadLocal, l0);
+      emit(code, Op::kLoadLocal, l1);
+      emit(code, Op::kAdd);
+      if (rnd_int(rng, 0, 1) != 0) {
+        emit(code, Op::kStoreLocal, l1);
+      } else {
+        emit(code, Op::kPop);
+      }
+      break;
+    case 3: {  // bounded countdown loop with compare+branch (fuses)
+      emit(code, Op::kPushInt, rnd_int(rng, 2, 12));
+      emit(code, Op::kStoreLocal, l0);
+      const size_t loop_top = code.size();
+      emit(code, Op::kLoadLocal, l0);
+      emit(code, Op::kPushInt, 1);
+      emit(code, Op::kSub);
+      emit(code, Op::kStoreLocal, l0);
+      emit(code, Op::kLoadLocal, l0);
+      emit(code, Op::kPushInt, 0);
+      emit(code, Op::kGt);
+      emit(code, Op::kJmpIfFalse, static_cast<int64_t>(code.size() + 2));
+      emit(code, Op::kJmp, static_cast<int64_t>(loop_top));
+      break;
+    }
+    case 4:  // float expression
+      emit(code, Op::kPushFloat, 0, 0.5 * static_cast<double>(rnd_int(rng, 1, 9)));
+      emit(code, Op::kPushFloat, 0, 0.25 * static_cast<double>(rnd_int(rng, 1, 9)));
+      emit(code, static_cast<Op>(rnd_int(rng, static_cast<int64_t>(Op::kFAdd),
+                                         static_cast<int64_t>(Op::kFDiv))));
+      emit(code, Op::kPop);
+      break;
+    case 5:  // heap traffic (always takes the checked escape)
+      emit(code, Op::kPushInt, rnd_int(rng, 1, 4));
+      emit(code, Op::kNewArray);
+      emit(code, Op::kDup);
+      emit(code, Op::kPushInt, 0);
+      emit(code, Op::kLoadLocal, l0);
+      emit(code, Op::kAStore);
+      emit(code, Op::kALen);
+      emit(code, Op::kPop);
+      break;
+    case 6:  // syscall round-trip
+      switch (rnd_int(rng, 0, 3)) {
+        case 0:
+          emit(code, Op::kSyscall, static_cast<int64_t>(Syscall::kRank));
+          emit(code, Op::kStoreLocal, l0);
+          break;
+        case 1:
+          emit(code, Op::kPushInt, rnd_int(rng, 0, 50));
+          emit(code, Op::kSyscall, static_cast<int64_t>(Syscall::kPrint));
+          break;
+        case 2:
+          emit(code, Op::kPushInt, rnd_int(rng, 0, 3));
+          emit(code, Op::kSyscall, static_cast<int64_t>(Syscall::kAllreduceSum));
+          emit(code, Op::kPop);
+          break;
+        default:
+          emit(code, Op::kSyscall, static_cast<int64_t>(Syscall::kWorldSize));
+          emit(code, Op::kPop);
+          break;
+      }
+      break;
+    default:  // call a random function (recursion is budget-bounded)
+      if (n_functions > 1) {
+        emit(code, Op::kPushInt, rnd_int(rng, -5, 5));
+        emit(code, Op::kCall, rnd_int(rng, 0, static_cast<int64_t>(n_functions) - 1));
+        emit(code, Op::kPop);
+      } else {
+        emit(code, Op::kNop);
+      }
+      break;
+  }
+}
+
+/// Raw random instruction: operands are often-but-not-always valid, so some
+/// programs trap and some defeat the verifier — both dispatchers must agree
+/// on those too. Two exclusions keep generated programs from crashing the
+/// harness itself (identically under every dispatcher, so no divergence is
+/// lost): heap allocation ops never run with an arbitrary stack top (wrapped
+/// arithmetic reaches 2^63, and new_array of that throws std::length_error),
+/// and random jumps land only on fragment boundaries or out of range — never
+/// inside a fragment, where they could skip an allocation's length push.
+void emit_chaos(Rng& rng, std::vector<Instr>& code, uint32_t n_locals,
+                const std::vector<size_t>& boundaries) {
+  const auto op = static_cast<Op>(rnd_int(rng, 0, static_cast<int64_t>(Op::kHalt)));
+  int64_t imm = rnd_int(rng, -2, static_cast<int64_t>(n_locals) + 2);
+  if (op == Op::kJmp || op == Op::kJmpIfFalse) {
+    if (rnd_int(rng, 0, 3) == 0) {
+      imm = rnd_int(rng, static_cast<int64_t>(code.size()) + 1,
+                    static_cast<int64_t>(code.size()) + 6);  // pc-out-of-range trap
+    } else {
+      imm = static_cast<int64_t>(
+          boundaries[static_cast<size_t>(rnd_int(rng, 0, static_cast<int64_t>(boundaries.size()) - 1))]);
+    }
+  }
+  if (op == Op::kCall) imm = rnd_int(rng, 0, 2);
+  emit(code, op, imm, 1.5);
+}
+
+Program random_program(uint32_t seed) {
+  Rng rng(seed);
+  Program prog;
+  const size_t n_functions = static_cast<size_t>(rnd_int(rng, 1, 3));
+  for (size_t f = 0; f < n_functions; ++f) {
+    Function fn;
+    fn.name = f == 0 ? "main" : "fn" + std::to_string(f);
+    fn.n_args = f == 0 ? 0 : 1;
+    fn.n_locals = static_cast<uint32_t>(rnd_int(rng, 2, 4));
+    const int64_t fragments = rnd_int(rng, 2, 6);
+    std::vector<size_t> boundaries;
+    for (int64_t i = 0; i < fragments; ++i) {
+      boundaries.push_back(fn.code.size());
+      if (rnd_int(rng, 0, 9) < 7) {
+        emit_fragment(rng, fn.code, fn.n_locals, n_functions);
+      } else {
+        emit_chaos(rng, fn.code, fn.n_locals, boundaries);
+      }
+    }
+    if (f == 0) {
+      emit(fn.code, Op::kHalt);
+    } else {
+      emit(fn.code, Op::kPushInt, 7);
+      emit(fn.code, Op::kRet);
+    }
+    prog.functions.push_back(std::move(fn));
+  }
+  return prog;
+}
+
+// ------------------------------------------------------------- harness ----
+
+/// Services a pending syscall with fixed, deterministic host behavior —
+/// applied identically to every interpreter under comparison.
+void service_syscall(Interpreter& interp, Syscall syscall) {
+  switch (syscall) {
+    case Syscall::kPrint:
+    case Syscall::kSleepMs:
+    case Syscall::kSpin:
+      (void)interp.pop_value();
+      break;
+    case Syscall::kRank:
+      interp.push_value(Value::integer(3));
+      break;
+    case Syscall::kWorldSize:
+      interp.push_value(Value::integer(8));
+      break;
+    case Syscall::kSendTo:
+      (void)interp.pop_value();
+      (void)interp.pop_value();
+      break;
+    case Syscall::kRecvFrom:
+      (void)interp.pop_value();
+      interp.push_value(Value::integer(1234));
+      break;
+    case Syscall::kCheckpoint:
+      interp.push_value(Value::unit());
+      break;
+    case Syscall::kBarrier:
+      break;
+    case Syscall::kAllreduceSum: {
+      Value v = interp.pop_value();
+      interp.push_value(Value::integer(v.i * 8));
+      break;
+    }
+  }
+  interp.complete_syscall();
+}
+
+util::Bytes image_of(const Interpreter& interp, const sim::Machine& machine) {
+  return ckpt::portable_encode(machine, interp.state()).payload;
+}
+
+/// Drives `a` (reference: checked) and `b` (candidate) through an identical
+/// slice schedule, comparing status/trap/steps and the portable checkpoint
+/// image at every pause. Returns after halt/trap or `max_rounds` slices.
+void run_lockstep(const Program& prog, const sim::Machine& machine,
+                  Interpreter::Dispatch mode_b, uint32_t seed) {
+  Interpreter a(prog, machine, Interpreter::Dispatch::kChecked);
+  Interpreter b(prog, machine, mode_b);
+  a.start();
+  b.start();
+  Rng slices(seed ^ 0x9e3779b9u);
+  const int max_rounds = 300;
+  for (int round = 0; round < max_rounds; ++round) {
+    const auto slice = static_cast<uint64_t>(rnd_int(slices, 1, 37));
+    RunResult ra = a.run(slice);
+    RunResult rb = b.run(slice);
+    ASSERT_EQ(static_cast<int>(ra.status), static_cast<int>(rb.status))
+        << "seed " << seed << " round " << round << " trap_a='" << ra.trap
+        << "' trap_b='" << rb.trap << "'";
+    ASSERT_EQ(ra.trap, rb.trap) << "seed " << seed;
+    ASSERT_EQ(a.state().steps_executed, b.state().steps_executed)
+        << "seed " << seed << " round " << round;
+    ASSERT_EQ(image_of(a, machine), image_of(b, machine))
+        << "portable image diverged: seed " << seed << " round " << round;
+    if (ra.status == RunStatus::kHalted || ra.status == RunStatus::kTrap) return;
+    if (ra.status == RunStatus::kSyscall) {
+      ASSERT_EQ(static_cast<int>(ra.syscall), static_cast<int>(rb.syscall));
+      service_syscall(a, ra.syscall);
+      service_syscall(b, rb.syscall);
+    }
+  }
+}
+
+// --------------------------------------------------------------- tests ----
+
+TEST(VmDifferential, FastMatchesCheckedOnRandomPrograms) {
+  for (uint32_t seed = 1; seed <= 120; ++seed) {
+    Program prog = random_program(seed);
+    try {
+      run_lockstep(prog, kM64, Interpreter::Dispatch::kFast, seed);
+    } catch (const std::exception& e) {
+      FAIL() << "exception at seed " << seed << ": " << e.what() << "\n"
+             << disassemble(prog);
+    }
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST(VmDifferential, FastMatchesCheckedOn32BitMachine) {
+  // Word wrapping is live on every int push/arith here.
+  for (uint32_t seed = 200; seed <= 280; ++seed) {
+    Program prog = random_program(seed);
+    run_lockstep(prog, kM32, Interpreter::Dispatch::kFast, seed);
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST(VmDifferential, UnfusedMatchesCheckedOnRandomPrograms) {
+  for (uint32_t seed = 300; seed <= 360; ++seed) {
+    Program prog = random_program(seed);
+    run_lockstep(prog, kM64, Interpreter::Dispatch::kFastNoFuse, seed);
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST(VmDifferential, MidLoopCheckpointImagesAreByteIdentical) {
+  // The acceptance pin: cut portable images inside a hot (fused) loop at
+  // awkward slice boundaries — including budgets that expire in the middle
+  // of a superinstruction — across all three dispatch configurations.
+  const char* src = R"(
+func main 0 2
+  push_int 0
+  store_local 0
+  push_int 1
+  store_local 1
+loop:
+  load_local 1
+  push_int 200
+  le
+  jmp_if_false done
+  load_local 0
+  load_local 1
+  add
+  store_local 0
+  load_local 1
+  push_int 1
+  add
+  store_local 1
+  jmp loop
+done:
+  load_local 0
+  halt
+)";
+  auto assembled = assemble(src);
+  ASSERT_TRUE(assembled.ok());
+  const Program prog = assembled.value();
+  for (uint64_t slice = 1; slice <= 11; ++slice) {
+    Interpreter checked(prog, kM32, Interpreter::Dispatch::kChecked);
+    Interpreter fast(prog, kM32, Interpreter::Dispatch::kFast);
+    Interpreter nofuse(prog, kM32, Interpreter::Dispatch::kFastNoFuse);
+    checked.start();
+    fast.start();
+    nofuse.start();
+    for (;;) {
+      RunResult rc = checked.run(slice);
+      RunResult rf = fast.run(slice);
+      RunResult rn = nofuse.run(slice);
+      ASSERT_EQ(static_cast<int>(rc.status), static_cast<int>(rf.status));
+      ASSERT_EQ(static_cast<int>(rc.status), static_cast<int>(rn.status));
+      const util::Bytes img = image_of(checked, kM32);
+      ASSERT_EQ(img, image_of(fast, kM32)) << "slice " << slice;
+      ASSERT_EQ(img, image_of(nofuse, kM32)) << "slice " << slice;
+      if (rc.status == RunStatus::kHalted) break;
+      ASSERT_EQ(rc.status, RunStatus::kRunning);
+    }
+    EXPECT_EQ(checked.state().stack.back(), Value::integer(20100));  // sum 1..200
+  }
+}
+
+TEST(VmDifferential, RestoredImageResumesIdenticallyOnBothDispatchers) {
+  // Checkpoint mid-run on the checked loop, restore into a fast
+  // interpreter (and vice versa), and finish: end states must agree.
+  Program prog = random_program(42);
+  Interpreter a(prog, kM64, Interpreter::Dispatch::kChecked);
+  Interpreter b(prog, kM64, Interpreter::Dispatch::kFast);
+  a.start();
+  b.start();
+  RunResult ra = a.run(23);
+  RunResult rb = b.run(23);
+  ASSERT_EQ(static_cast<int>(ra.status), static_cast<int>(rb.status));
+  if (ra.status != RunStatus::kRunning) return;  // seed-dependent; done
+  const ckpt::Image img = ckpt::portable_encode(kM64, a.state());
+
+  auto restored_fast = ckpt::portable_decode(img, kM64);
+  auto restored_checked = ckpt::portable_decode(img, kM64);
+  ASSERT_TRUE(restored_fast.ok());
+  ASSERT_TRUE(restored_checked.ok());
+  Interpreter c(prog, kM64, Interpreter::Dispatch::kFast);
+  Interpreter d(prog, kM64, Interpreter::Dispatch::kChecked);
+  c.set_state(std::move(restored_fast).value());
+  d.set_state(std::move(restored_checked).value());
+  for (int round = 0; round < 200; ++round) {
+    RunResult rc = c.run(17);
+    RunResult rd = d.run(17);
+    ASSERT_EQ(static_cast<int>(rc.status), static_cast<int>(rd.status)) << rc.trap;
+    ASSERT_EQ(rc.trap, rd.trap);
+    ASSERT_EQ(image_of(c, kM64), image_of(d, kM64)) << "round " << round;
+    if (rc.status == RunStatus::kHalted || rc.status == RunStatus::kTrap) break;
+    if (rc.status == RunStatus::kSyscall) {
+      service_syscall(c, rc.syscall);
+      service_syscall(d, rd.syscall);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace starfish::vm

@@ -660,6 +660,201 @@ done:
   EXPECT_EQ(a.state().stack.back(), Value::integer(325));
 }
 
+// ---------------------------------------------------- execution engine ----
+
+TEST(Verifier, AnalyzeProvesStraightLineFacts) {
+  Program p = must_assemble(R"(
+func main 0 1
+  push_int 2
+  push_int 3
+  add
+  store_local 0
+  halt
+)");
+  ProgramFacts facts = analyze(p);
+  ASSERT_EQ(facts.functions.size(), 1u);
+  const FunctionFacts& f = facts.functions[0];
+  ASSERT_TRUE(f.analyzed);
+  EXPECT_TRUE(facts.any_fast);
+  for (size_t pc = 0; pc < p.functions[0].code.size(); ++pc) {
+    EXPECT_EQ(f.fast[pc], 1) << "pc " << pc;
+  }
+  // Exact depths before each instruction: 0, 1, 2, 1, 0.
+  EXPECT_EQ(f.depth, (std::vector<int32_t>{0, 1, 2, 1, 0}));
+  EXPECT_EQ(f.max_stack, 2u);
+}
+
+TEST(Verifier, UnderflowMakesFunctionUnanalyzable) {
+  // `add` pops below main's entry depth: no facts, everything stays checked.
+  Program p = must_assemble("func main 0 0\n  add\n  halt\n");
+  ProgramFacts facts = analyze(p);
+  EXPECT_FALSE(facts.functions[0].analyzed);
+  EXPECT_FALSE(facts.any_fast);
+}
+
+TEST(Verifier, CallerOfUnanalyzableCalleeIsDemoted) {
+  // helper underflows, so main's assumption about the call's stack effect
+  // is unprovable and main must forfeit its facts too.
+  Program p = must_assemble(R"(
+func main 0 0
+  call helper
+  halt
+func helper 0 0
+  add
+  ret
+)");
+  ProgramFacts facts = analyze(p);
+  EXPECT_FALSE(facts.functions[1].analyzed);
+  EXPECT_FALSE(facts.functions[0].analyzed);
+}
+
+TEST(Verifier, DefiniteTrapKeepsInstructionCheckedWithoutFailingFunction) {
+  // not-on-int provably traps; the function keeps its facts (flow dies at
+  // the trap) and the checked escape must preserve the original message.
+  Program p = must_assemble("func main 0 0\n  push_int 1\n  not\n  halt\n");
+  ProgramFacts facts = analyze(p);
+  ASSERT_TRUE(facts.functions[0].analyzed);
+  EXPECT_EQ(facts.functions[0].fast[1], 0);
+
+  Interpreter interp(p, kM32);
+  interp.start();
+  auto r = interp.run();
+  EXPECT_EQ(r.status, RunStatus::kTrap);
+  EXPECT_EQ(r.trap, "not on non-bool");
+}
+
+TEST(Interp, AllDispatchModesProduceIdenticalResults) {
+  const std::string src = R"(
+func main 0 2
+  push_int 0
+  store_local 0
+  push_int 1
+  store_local 1
+loop:
+  load_local 1
+  push_int 500
+  le
+  jmp_if_false done
+  load_local 0
+  load_local 1
+  add
+  store_local 0
+  load_local 1
+  push_int 1
+  add
+  store_local 1
+  jmp loop
+done:
+  load_local 0
+  halt
+)";
+  Program p = must_assemble(src);
+  Interpreter fast(p, kM32, Interpreter::Dispatch::kFast);
+  Interpreter nofuse(p, kM32, Interpreter::Dispatch::kFastNoFuse);
+  Interpreter checked(p, kM32, Interpreter::Dispatch::kChecked);
+  EXPECT_TRUE(fast.fast_dispatch());
+  EXPECT_FALSE(checked.fast_dispatch());
+  for (Interpreter* i : {&fast, &nofuse, &checked}) {
+    i->start();
+    auto r = i->run();
+    EXPECT_EQ(r.status, RunStatus::kHalted) << r.trap;
+  }
+  EXPECT_EQ(fast.state().stack.back(), Value::integer(125250));
+  EXPECT_EQ(fast.state().stack, checked.state().stack);
+  EXPECT_EQ(nofuse.state().stack, checked.state().stack);
+  EXPECT_EQ(fast.state().steps_executed, checked.state().steps_executed);
+  EXPECT_EQ(nofuse.state().steps_executed, checked.state().steps_executed);
+}
+
+TEST(Interp, TrapMessagesIdenticalAcrossDispatchers) {
+  // Division by zero sits on a verifier-fast path (zero guard retained).
+  const std::string src = "func main 0 0\n  push_int 1\n  push_int 0\n  div\n  halt\n";
+  Program p = must_assemble(src);
+  Interpreter fast(p, kM32, Interpreter::Dispatch::kFast);
+  Interpreter checked(p, kM32, Interpreter::Dispatch::kChecked);
+  fast.start();
+  checked.start();
+  auto rf = fast.run(), rc = checked.run();
+  EXPECT_EQ(rf.status, RunStatus::kTrap);
+  EXPECT_EQ(rf.trap, rc.trap);
+  EXPECT_EQ(rf.trap, "division by zero");
+  EXPECT_EQ(fast.state().steps_executed, checked.state().steps_executed);
+  EXPECT_EQ(fast.state().stack, checked.state().stack);
+}
+
+TEST(Interp, HostPopOnEmptyStackTrapsInsteadOfReturningUnit) {
+  Program p = must_assemble("func main 0 0\n  syscall print\n  halt\n");
+  Interpreter interp(p, kM32, Interpreter::Dispatch::kChecked);
+  interp.start();
+  interp.mutable_state().stack.clear();  // simulate a host protocol bug
+  (void)interp.pop_value();              // old behavior: silently unit
+  auto r = interp.run();
+  EXPECT_EQ(r.status, RunStatus::kTrap);
+  EXPECT_EQ(r.trap, "host pop on empty stack");
+}
+
+TEST(Interp, ExecStatsCountFastAndFusedInstructions) {
+  Program p = must_assemble(R"(
+func main 0 1
+  push_int 0
+  store_local 0
+loop:
+  load_local 0
+  push_int 1
+  add
+  store_local 0
+  load_local 0
+  push_int 100
+  lt
+  jmp_if_false done
+  jmp loop
+done:
+  halt
+)");
+  Interpreter interp(p, kM64);
+  interp.start();
+  auto r = interp.run();
+  EXPECT_EQ(r.status, RunStatus::kHalted) << r.trap;
+  const auto& stats = interp.exec_stats();
+  EXPECT_EQ(stats.fast_instrs, interp.state().steps_executed);
+  EXPECT_EQ(stats.checked_instrs, 0u);
+  EXPECT_GT(stats.fused_hits, 0u);  // inc-local and load-cmp-branch idioms
+}
+
+TEST(Interp, ObsCountersMirrorExecution) {
+  obs::Hub hub;
+  Program p = must_assemble("func main 0 0\n  push_int 1\n  push_int 2\n  add\n  halt\n");
+  Interpreter interp(p, kM64);
+  interp.set_obs(&hub);
+  interp.start();
+  (void)interp.run();
+  const obs::Counter* retired = hub.metrics.find_counter("sim.vm.instructions_retired");
+  ASSERT_NE(retired, nullptr);
+  EXPECT_EQ(retired->value(), interp.state().steps_executed);
+  const obs::Counter* fastc = hub.metrics.find_counter("sim.vm.dispatch_fast");
+  ASSERT_NE(fastc, nullptr);
+  EXPECT_EQ(fastc->value(), interp.state().steps_executed);
+}
+
+TEST(Interp, RestoredStateFailingDepthVettingFallsBackToChecked) {
+  Program p = must_assemble("func main 0 0\n  push_int 1\n  push_int 2\n  add\n  halt\n");
+  Interpreter a(p, kM32);
+  a.start();
+  (void)a.run(1);  // pause with one value on the stack
+  VmState s = a.state();
+  s.stack.push_back(Value::integer(99));  // corrupt: depth no longer matches
+  Interpreter b(p, kM32);
+  b.set_state(std::move(s));
+  EXPECT_FALSE(b.fast_dispatch());  // checked loop re-validates per step
+  VmState good = a.state();
+  Interpreter c(p, kM32);
+  c.set_state(std::move(good));
+  EXPECT_TRUE(c.fast_dispatch());
+  auto r = c.run();
+  EXPECT_EQ(r.status, RunStatus::kHalted);
+  EXPECT_EQ(c.state().stack.back(), Value::integer(3));
+}
+
 TEST(Disassemble, RendersSyscallsAndCallsByName) {
   Program p = must_assemble(R"(
 func main 0 0
