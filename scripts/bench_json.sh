@@ -1,19 +1,22 @@
 #!/usr/bin/env bash
 # Machine-readable benchmark runner: builds a Release tree and writes a
 # BENCH_*.json snapshot at the repo root (name = first argument, default
-# BENCH_PR5.json), combining
-#   - google-benchmark's native JSON for the host micro benches, and
+# BENCH_PR6.json), combining
+#   - google-benchmark's native JSON for the host micro benches,
 #   - the --json runner mode of fig3/fig4/fig5 (host wall-clock, simulated
-#     ns and simulator events/sec per run).
+#     ns and simulator events/sec per run), and
+#   - the scaling_nodes thread-scaling sweep (aggregate events/sec at
+#     1/2/4 worker shards over the same 64-host workload).
 # The figures' human-readable stdout is unchanged and discarded here.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT_NAME="${1:-BENCH_PR5.json}"
+OUT_NAME="${1:-BENCH_PR6.json}"
 BUILD=build-bench
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" -j --target \
-  micro_benchmarks fig3_native_checkpoint fig4_vm_checkpoint fig5_roundtrip >/dev/null
+  micro_benchmarks fig3_native_checkpoint fig4_vm_checkpoint fig5_roundtrip \
+  scaling_nodes >/dev/null
 
 out=$(mktemp -d)
 trap 'rm -rf "$out"' EXIT
@@ -22,6 +25,7 @@ trap 'rm -rf "$out"' EXIT
 "$BUILD"/bench/fig3_native_checkpoint --json "$out/fig3.json" >/dev/null
 "$BUILD"/bench/fig4_vm_checkpoint --json "$out/fig4.json" >/dev/null
 "$BUILD"/bench/fig5_roundtrip --json "$out/fig5.json" >/dev/null
+"$BUILD"/bench/scaling_nodes --threads 1,2,4 --json "$out/scaling.json" >/dev/null
 
 python3 - "$out" "$OUT_NAME" <<'EOF'
 import json, os, sys
@@ -30,7 +34,7 @@ d = sys.argv[1]
 merged = {
     "schema": "starfish-bench-v1",
     "figures": [json.load(open(os.path.join(d, f)))
-                for f in ("fig3.json", "fig4.json", "fig5.json")],
+                for f in ("fig3.json", "fig4.json", "fig5.json", "scaling.json")],
     "micro": json.load(open(os.path.join(d, "micro.json"))),
 }
 with open(sys.argv[2], "w") as f:

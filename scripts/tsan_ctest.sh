@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# ThreadSanitizer ctest configuration for the sharded engine: builds an
+# instrumented tree (build-tsan/, -DSTARFISH_TSAN=ON) and runs the suite
+# twice —
+#   1. as-is: engine/golden/shard tests exercise their own 2/4/8-shard
+#      configurations under TSan, and
+#   2. with STARFISH_SHARDS=4 exported: every cluster-level tier (chaos,
+#      scenario, resilience, obs, core) runs its whole simulation on four
+#      worker threads, sweeping the cross-shard exchange, window barrier,
+#      checkpoint-store and fault-lane paths for data races.
+#
+# Under TSan the sim layer automatically falls back from the hand-rolled
+# context switch to swapcontext, whose TSan interceptor tracks the stack
+# hop. The explicit __tsan_*_fiber annotations stay off by default — gcc's
+# libtsan crashes when they are used (see src/sim/context.hpp).
+#
+# Extra arguments are passed through to ctest.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build-tsan -S . -DSTARFISH_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build build-tsan -j
+
+# halt_on_error: a race is a failure, not a log line. second_deadlock_stack
+# helps on lock-order reports from the window barrier / checkpoint store.
+export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1:${TSAN_OPTIONS:-}"
+
+cd build-tsan
+# The tiers this script exists for must actually be registered.
+[ "$(ctest -N | grep -ci chaos)" -gt 0 ] || { echo "chaos tests missing from ctest registration" >&2; exit 1; }
+[ "$(ctest -N | grep -ci shard)" -gt 0 ] || { echo "shard tests missing from ctest registration" >&2; exit 1; }
+
+echo "== TSan pass 1: full suite (multi-shard tests self-configured) =="
+ctest --output-on-failure -j "$@"
+
+echo "== TSan pass 2: sim/chaos tiers at STARFISH_SHARDS=4 =="
+STARFISH_SHARDS=4 ctest --output-on-failure -j \
+  -R 'Chaos|Scenario|Resilience|Obs|Shard|Core|Property' "$@"

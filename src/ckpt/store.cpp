@@ -7,13 +7,14 @@ namespace starfish::ckpt {
 void CheckpointStore::put(sim::Host& host, const CkptKey& key, Image image) {
   const uint64_t bytes = image.file_bytes;
   const sim::Time start = engine_.now();
+  // Charge the disk before taking the lock: sleep/write block the fiber,
+  // and the window barrier must never wait on a held mutex.
   if (image.kind == ImageKind::kNative) {
     engine_.sleep(kNativeDumpSetup);
     host.disk().write(bytes);
   } else {
     host.disk().write_buffered(bytes);
   }
-  bytes_written_ += bytes;
   if (obs::Hub* hub = engine_.obs()) {
     hub->metrics.counter("ckpt.store.images_written").add(1);
     hub->metrics.counter("ckpt.store.bytes_written").add(bytes);
@@ -26,17 +27,24 @@ void CheckpointStore::put(sim::Host& host, const CkptKey& key, Image image) {
                            host.id());
     }
   }
+  std::lock_guard<std::mutex> lock(mu_);
+  bytes_written_ += bytes;
   images_[key] = std::move(image);
 }
 
 std::optional<Image> CheckpointStore::get(sim::Host& host, const CkptKey& key) {
-  auto it = images_.find(key);
-  if (it == images_.end()) return std::nullopt;
+  std::optional<Image> found;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = images_.find(key);
+    if (it == images_.end()) return std::nullopt;
+    found = it->second;
+  }
   const sim::Time start = engine_.now();
-  host.disk().read(it->second.file_bytes);
+  host.disk().read(found->file_bytes);  // outside the lock: blocks the fiber
   if (obs::Hub* hub = engine_.obs()) {
     hub->metrics.counter("ckpt.store.images_read").add(1);
-    hub->metrics.counter("ckpt.store.bytes_read").add(it->second.file_bytes);
+    hub->metrics.counter("ckpt.store.bytes_read").add(found->file_bytes);
     if (hub->tracer.enabled()) {
       hub->tracer.complete(static_cast<uint64_t>(start),
                            static_cast<uint64_t>(engine_.now() - start), "ckpt",
@@ -45,36 +53,49 @@ std::optional<Image> CheckpointStore::get(sim::Host& host, const CkptKey& key) {
                            host.id());
     }
   }
-  return it->second;
+  return found;
 }
 
 std::optional<uint64_t> CheckpointStore::file_bytes(const CkptKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = images_.find(key);
   if (it == images_.end()) return std::nullopt;
   return it->second.file_bytes;
 }
 
 void CheckpointStore::commit(const std::string& app, uint64_t epoch) {
-  // Monotone: a stale commit (e.g. from a coordinator that was about to die)
-  // never moves the recovery line backwards.
-  auto it = committed_.find(app);
-  if (it == committed_.end() || it->second < epoch) committed_[app] = epoch;
-  commit_times_.emplace(std::make_pair(app, epoch), engine_.now());
+  const sim::Time now = engine_.now();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Monotone: a stale commit (e.g. from a coordinator that was about to
+    // die) never moves the recovery line backwards.
+    auto it = committed_.find(app);
+    if (it == committed_.end() || it->second < epoch) committed_[app] = epoch;
+    // Min-combine: concurrent duplicate commits record the earliest virtual
+    // time regardless of wall-clock arrival order.
+    auto [t, inserted] = commit_times_.try_emplace(std::make_pair(app, epoch), now);
+    if (!inserted && now < t->second) t->second = now;
+  }
   if (obs::Hub* hub = engine_.obs()) {
     hub->metrics.counter("ckpt.store.epochs_committed").add(1);
     if (hub->tracer.enabled()) {
-      hub->tracer.instant(static_cast<uint64_t>(engine_.now()), "ckpt",
+      hub->tracer.instant(static_cast<uint64_t>(now), "ckpt",
                           "commit " + app + "/e" + std::to_string(epoch), 0);
     }
   }
 }
 
 void CheckpointStore::note_begin(const std::string& app, uint64_t epoch) {
-  begin_times_.emplace(std::make_pair(app, epoch), engine_.now());  // first note wins
+  const sim::Time now = engine_.now();
+  std::lock_guard<std::mutex> lock(mu_);
+  // Earliest virtual begin wins (min-combine, same reasoning as commit()).
+  auto [it, inserted] = begin_times_.try_emplace(std::make_pair(app, epoch), now);
+  if (!inserted && now < it->second) it->second = now;
 }
 
 std::optional<sim::Duration> CheckpointStore::epoch_duration(const std::string& app,
                                                              uint64_t epoch) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto b = begin_times_.find({app, epoch});
   auto c = commit_times_.find({app, epoch});
   if (b == begin_times_.end() || c == commit_times_.end()) return std::nullopt;
@@ -82,6 +103,7 @@ std::optional<sim::Duration> CheckpointStore::epoch_duration(const std::string& 
 }
 
 std::optional<uint64_t> CheckpointStore::latest_committed(const std::string& app) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = committed_.find(app);
   if (it == committed_.end()) return std::nullopt;
   return it->second;
@@ -89,6 +111,7 @@ std::optional<uint64_t> CheckpointStore::latest_committed(const std::string& app
 
 std::optional<uint64_t> CheckpointStore::latest_stored(const std::string& app,
                                                        uint32_t rank) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::optional<uint64_t> best;
   for (const auto& [key, image] : images_) {
     if (key.app == app && key.rank == rank) {
@@ -98,7 +121,41 @@ std::optional<uint64_t> CheckpointStore::latest_stored(const std::string& app,
   return best;
 }
 
+uint64_t CheckpointStore::content_hash() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](const void* data, size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ull;
+    }
+  };
+  const auto mix_key = [&](const CkptKey& key) {
+    mix(key.app.data(), key.app.size());
+    mix(&key.rank, sizeof key.rank);
+    mix(&key.epoch, sizeof key.epoch);
+  };
+  for (const auto& [key, image] : images_) {
+    mix_key(key);
+    mix(&image.kind, sizeof image.kind);
+    mix(&image.repr_code, sizeof image.repr_code);
+    mix(&image.file_bytes, sizeof image.file_bytes);
+    mix(image.payload.data(), image.payload.size());
+  }
+  for (const auto& [key, meta] : metas_) {
+    mix_key(key);
+    mix(meta.data(), meta.size());
+  }
+  for (const auto& [app, epoch] : committed_) {
+    mix(app.data(), app.size());
+    mix(&epoch, sizeof epoch);
+  }
+  return h;
+}
+
 size_t CheckpointStore::gc(const std::string& app, uint64_t keep_epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
   std::erase_if(metas_, [&](const auto& entry) {
     return entry.first.app == app && entry.first.epoch < keep_epoch;
   });

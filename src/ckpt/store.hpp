@@ -12,10 +12,18 @@
 // Uncoordinated protocols store per-process checkpoints keyed by their own
 // indices and never commit epochs; recovery lines are computed from
 // dependency metadata instead (recovery.hpp).
+//
+// The store is cluster-wide shared state, so hosts on different engine
+// shards reach it concurrently: a mutex guards the maps, and disk time is
+// always charged *outside* the lock (holding an OS mutex across a fiber
+// block would deadlock the window barrier). Timestamp bookkeeping uses
+// min-combines so the recorded values depend only on virtual time, never
+// on which shard won a wall-clock race.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -50,13 +58,20 @@ class CheckpointStore {
 
   /// Zero-cost existence/metadata checks (directory lookups are not what the
   /// paper measures).
-  bool contains(const CkptKey& key) const { return images_.contains(key); }
+  bool contains(const CkptKey& key) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return images_.contains(key);
+  }
   std::optional<uint64_t> file_bytes(const CkptKey& key) const;
 
   /// Small side-band metadata per checkpoint (dependency-tracker blobs for
   /// the uncoordinated protocol). Zero-cost access.
-  void put_meta(const CkptKey& key, util::Bytes meta) { metas_[key] = std::move(meta); }
+  void put_meta(const CkptKey& key, util::Bytes meta) {
+    std::lock_guard<std::mutex> lock(mu_);
+    metas_[key] = std::move(meta);
+  }
   std::optional<util::Bytes> checkpoint_meta(const CkptKey& key) const {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = metas_.find(key);
     if (it == metas_.end()) return std::nullopt;
     return it->second;
@@ -81,11 +96,22 @@ class CheckpointStore {
   /// of files removed (checkpoint garbage collection).
   size_t gc(const std::string& app, uint64_t keep_epoch);
 
-  size_t image_count() const { return images_.size(); }
-  uint64_t bytes_written() const { return bytes_written_; }
+  size_t image_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return images_.size();
+  }
+  /// FNV-1a over every stored image and meta blob (keys, kinds, payload
+  /// bytes) in key order. Zero-cost (no disk charge): determinism tests
+  /// compare whole stores across runs without perturbing them.
+  uint64_t content_hash() const;
+  uint64_t bytes_written() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_written_;
+  }
 
  private:
   sim::Engine& engine_;
+  mutable std::mutex mu_;
   std::map<CkptKey, Image> images_;
   std::map<CkptKey, util::Bytes> metas_;
   std::map<std::string, uint64_t> committed_;

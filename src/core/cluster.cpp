@@ -1,9 +1,28 @@
 #include "core/cluster.hpp"
 
+#include <cstdlib>
+
 namespace starfish::core {
+
+namespace {
+/// STARFISH_SHARDS=N overrides the default shard count for every cluster
+/// whose options did not pick one explicitly. Shard count never changes the
+/// simulation (see tests/shard_determinism_test.cpp), so CI tiers — notably
+/// scripts/tsan_ctest.sh — use this to drive the whole cluster suite
+/// through the parallel scheduler without editing each test.
+unsigned shards_from_env(unsigned from_options) {
+  if (from_options != 1) return from_options;
+  const char* env = std::getenv("STARFISH_SHARDS");
+  if (env == nullptr) return from_options;
+  const long n = std::strtol(env, nullptr, 10);
+  return n > 1 ? static_cast<unsigned>(n) : from_options;
+}
+}  // namespace
 
 Cluster::Cluster(ClusterOptions options)
     : options_(std::move(options)), engine_(options_.seed), network_(engine_), store_(engine_) {
+  // Before any host registers its node.
+  engine_.set_shards(shards_from_env(options_.shards));
   launcher_ = std::make_unique<Launcher>(network_, store_, registry_, options_.process);
   for (size_t i = 0; i < options_.nodes; ++i) {
     const sim::Machine& machine =

@@ -312,7 +312,14 @@ void ApplicationProcess::run_native_app(const NativeAppFn& fn) {
 }
 
 void ApplicationProcess::run_vm_app(const vm::Program&) {
-  if (!restored_) interp_->start("main");
+  // A restored image can hold a VM that never began executing: the wiring
+  // message and the checkpoint freeze can land in the same instant, so the
+  // epoch captures the interpreter before start() ran. Resuming such an
+  // image means starting from the entry point — running it as-is would
+  // report an instant (bogus) completion.
+  const bool never_started =
+      interp_->state().frames.empty() && interp_->state().steps_executed == 0;
+  if (!restored_ || never_started) interp_->start("main");
   for (;;) {
     gate_check();
     const uint64_t before = interp_->state().steps_executed;

@@ -551,6 +551,21 @@ void Proc::restore_channel_state(const util::Bytes& blob, std::vector<Envelope> 
   }
   for (auto& env : recorded) unexpected_.push_back(std::move(env));
   for (auto& env : live) unexpected_.push_back(std::move(env));
+  // The application may already be blocked in a recv posted while the image
+  // was still being read from disk: a restored in-transit message must match
+  // it now, or it would wait for an arrival that never comes (the message
+  // already "arrived" — into the checkpoint).
+  for (auto* p : posted_) {
+    if (p->done || p->waiting_rdv) continue;
+    for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+      if (!matches(*p, *it) || it->is_rts) continue;
+      p->result = std::move(*it);
+      unexpected_.erase(it);
+      p->done = true;
+      break;
+    }
+  }
+  completion_cv_.notify_all();
 }
 
 void Proc::inject_unexpected(Envelope env) { unexpected_.push_back(std::move(env)); }

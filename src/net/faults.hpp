@@ -3,12 +3,18 @@
 // The fabric's only built-in failure is fail-stop (`Network::crash_host`);
 // real clusters also lose, delay, duplicate and partition traffic. The
 // FaultInjector sits inside `Network` and is consulted on every datagram
-// transmit, stream frame and connection attempt. All randomness comes from
-// the engine's seeded RNG, so a fault schedule is a pure function of
-// (seed, event order): the same seed replays the identical run, which is
-// what lets the chaos harness assert liveness and safety against a
-// fault-free reference execution (deterministic-simulation testing in the
-// FoundationDB style — see DESIGN.md section 9).
+// transmit, stream frame and connection attempt.
+//
+// Randomness is sharded per *source host*: lane `src` owns an independent
+// xoshiro stream seeded from (engine seed, src), its own counters and its
+// own trace lines. Every fault decision executes on the sending host's
+// node, so each lane is touched by exactly one shard and a fault schedule
+// is a pure function of (seed, per-host event order) — independent of how
+// many threads the engine runs. The same seed replays the identical run at
+// any shard count, which is what lets the chaos harness assert liveness
+// and safety against a fault-free reference execution
+// (deterministic-simulation testing in the FoundationDB style — see
+// DESIGN.md sections 9 and 13).
 //
 // When no faults are configured (`enabled() == false`) the injector is a
 // single branch on the send paths: no RNG draws, no counter updates, and
@@ -27,6 +33,7 @@
 #include "net/model_params.hpp"
 #include "sim/engine.hpp"
 #include "sim/host.hpp"
+#include "util/rng.hpp"
 
 namespace starfish::net {
 
@@ -70,25 +77,34 @@ class FaultInjector {
   /// The fast paths check only this flag.
   bool enabled() const { return enabled_; }
 
-  // --- plan configuration -------------------------------------------------
+  // --- plan configuration (serial phases only) ----------------------------
 
   /// Faults applied to every inter-host link (loopback is always exempt).
-  void set_default(LinkFaults f) { default_ = f; refresh_enabled(); }
+  void set_default(LinkFaults f) {
+    assert(!engine_.in_parallel());
+    default_ = f;
+    refresh_enabled();
+  }
   /// Per-transport override (e.g. shake the TCP control plane while the
   /// BIP data path stays clean). Wins over the default.
   void set_transport(TransportKind kind, LinkFaults f) {
+    assert(!engine_.in_parallel());
     transport_[static_cast<size_t>(kind)] = f;
     refresh_enabled();
   }
   /// Directional per-link override; wins over transport and default.
   void set_link(sim::HostId src, sim::HostId dst, LinkFaults f) {
+    assert(!engine_.in_parallel());
     links_[{src, dst}] = f;
     refresh_enabled();
   }
 
   /// Deterministic drop hook for surgical tests: return true to drop the
   /// datagram. Evaluated before any probabilistic fault, with no RNG draw.
+  /// The hook runs on the sending host's shard: it must be pure (no shared
+  /// mutable state) once the engine is multi-threaded.
   void set_filter(std::function<bool(const Packet&, TransportKind)> drop_if) {
+    assert(!engine_.in_parallel());
     filter_ = std::move(drop_if);
     refresh_enabled();
   }
@@ -105,14 +121,22 @@ class FaultInjector {
   /// counters survive so post-run assertions still see the totals).
   void clear();
 
-  // --- observability ------------------------------------------------------
+  /// Network::add_host() calls this (serially) so lane `src` exists before
+  /// host `src` can send. Lane seeds depend only on (engine seed, src).
+  void on_host_added(size_t host_count);
 
-  const FaultCounters& counters() const { return counters_; }
-  /// Every fault decision as "<sim-ns> <what> <src>-><dst>" in injection
-  /// order; two runs with the same seed produce identical traces.
-  const std::vector<std::string>& trace() const { return trace_; }
+  // --- observability (serial phases only) ---------------------------------
+
+  /// Totals merged across the per-source-host lanes.
+  const FaultCounters& counters() const;
+  /// Every fault decision as "<sim-ns> <what> <src>-><dst>", merged across
+  /// lanes in (time, source host, per-lane order); two runs with the same
+  /// seed produce identical traces at any shard count.
+  const std::vector<std::string>& trace() const;
 
   // --- queries from Network (call only when enabled()) --------------------
+  // Each query runs on the *source* host's shard and touches only that
+  // host's lane.
 
   bool link_blocked(sim::HostId src, sim::HostId dst) const {
     return blocked_.contains({src, dst});
@@ -123,7 +147,7 @@ class FaultInjector {
     bool duplicate = false;
     sim::Duration extra = 0;
   };
-  /// Fault decision for one datagram (draws from the engine RNG).
+  /// Fault decision for one datagram (draws from the source host's stream).
   Verdict datagram_verdict(const Packet& packet, TransportKind kind);
   /// Extra latency for one reliable-stream frame; `reset` is set when an
   /// active partition should break the connection instead.
@@ -134,14 +158,28 @@ class FaultInjector {
   bool connect_blocked(sim::HostId from, sim::HostId to);
 
  private:
+  /// One source host's fault state; only that host's shard touches it.
+  struct Lane {
+    explicit Lane(uint64_t seed) : rng(seed) {}
+    util::Rng rng;
+    FaultCounters counters;
+    /// (decision time, trace line) in emission order; times are monotone
+    /// because the lane's host executes events in key order.
+    std::vector<std::pair<sim::Time, std::string>> trace;
+  };
+
+  Lane& lane(sim::HostId src) {
+    assert(src < lanes_.size() && "fault decision for an unregistered host");
+    return lanes_[src];
+  }
   const LinkFaults& faults_for(sim::HostId src, sim::HostId dst, TransportKind kind) const;
-  sim::Duration latency_extra(const LinkFaults& f, sim::HostId src, sim::HostId dst,
+  sim::Duration latency_extra(Lane& ln, const LinkFaults& f, sim::HostId src, sim::HostId dst,
                               const char* what);
-  /// Records one fault decision: appends a trace() line, bumps the
+  /// Records one fault decision: appends a lane trace line, bumps the
   /// "net.fault.<what>" obs counter by `count` (keeping obs tallies equal to
   /// the FaultCounters, which add whole retransmit streaks at once) and
   /// emits an instant trace event when tracing is on.
-  void note(const char* what, sim::HostId src, sim::HostId dst, uint64_t count = 1);
+  void note(Lane& ln, const char* what, sim::HostId src, sim::HostId dst, uint64_t count = 1);
   void refresh_enabled();
 
   sim::Engine& engine_;
@@ -151,8 +189,10 @@ class FaultInjector {
   std::map<std::pair<sim::HostId, sim::HostId>, LinkFaults> links_;
   std::set<std::pair<sim::HostId, sim::HostId>> blocked_;
   std::function<bool(const Packet&, TransportKind)> filter_;
-  FaultCounters counters_;
-  std::vector<std::string> trace_;
+  std::vector<Lane> lanes_;
+  /// Merge scratch for counters()/trace(); rebuilt on each (serial) read.
+  mutable FaultCounters merged_counters_;
+  mutable std::vector<std::string> merged_trace_;
 };
 
 }  // namespace starfish::net

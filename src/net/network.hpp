@@ -10,8 +10,17 @@
 // packets to/from a dead host are dropped, connections break, and blocked
 // readers wake with kClosed — exactly the failure surface the daemons'
 // failure detector and the C/R protocols must handle.
+//
+// Sharding contract (DESIGN.md section 13): all mutable routing state is
+// partitioned per host. Send-side work (fault verdicts, FIFO clamps, obs)
+// runs on the source host's shard against source-host state; arrival-side
+// work (binding/listener lookups, inbox delivery) is an event scheduled on
+// the destination host's node. Cross-host traffic always travels at least
+// one transport one-way latency, which the constructor reports to the
+// engine as its conservative-window lookahead.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -83,13 +92,16 @@ using DatagramEndpointPtr = std::shared_ptr<DatagramEndpoint>;
 /// One end of a reliable framed stream. Both ends share a ConnState.
 class Connection {
  public:
-  /// Sends one framed message; returns false if the connection is broken.
+  /// Sends one framed message; returns false if this end is broken.
   bool send(util::SharedBytes payload);
   /// Blocks for the next message; kClosed once broken/closed and drained.
   sim::RecvResult<util::SharedBytes> recv(sim::Time deadline = -1);
   std::optional<util::SharedBytes> try_recv();
-  /// Graceful close: peer recv drains then reports kClosed.
+  /// Graceful close: peer recv drains then reports kClosed; the peer end
+  /// observes the break one one-way latency later (FIN on the wire).
   void close();
+  /// This end's view: broken once it closed/reset locally, the peer's
+  /// FIN/RST arrived, or an endpoint host crashed.
   bool broken() const;
   sim::HostId local_host() const { return local_; }
   sim::HostId peer_host() const { return remote_; }
@@ -138,7 +150,7 @@ using AcceptorPtr = std::shared_ptr<Acceptor>;
 
 class Network {
  public:
-  explicit Network(sim::Engine& engine) : engine_(engine) {}
+  explicit Network(sim::Engine& engine);
 
   sim::Engine& engine() const { return engine_; }
 
@@ -152,6 +164,7 @@ class Network {
 
   /// Fail-stop crash: kills the host's fibers, drops its bindings, breaks
   /// its connections. The authoritative way to inject a node failure.
+  /// Control-plane operation: serial phases only.
   void crash_host(sim::HostId id);
 
   /// Message-level fault injection (loss, delay, duplication, partitions);
@@ -163,22 +176,49 @@ class Network {
 
   // --- datagram API ---
   DatagramEndpointPtr bind(sim::HostId host, Port port, TransportKind kind);
-  /// Picks an unused port on the host.
+  /// Picks an unused port on the host (ports are per-host, so two hosts can
+  /// share an auto port number; an address is always the (host, port) pair).
   DatagramEndpointPtr bind_auto(sim::HostId host, TransportKind kind);
 
   // --- stream API ---
   AcceptorPtr listen(sim::HostId host, Port port, TransportKind kind);
-  /// Blocks ~1 RTT; nullptr if nobody listens at dst or a host is dead.
+  /// Blocks ~1 RTT; nullptr if nobody listens at dst or a host is dead. The
+  /// SYN travels as an event to the server host, where the listener table
+  /// is examined by its owning shard.
   ConnectionPtr connect(sim::HostId from, NetAddr dst, TransportKind kind);
 
   /// Total messages put on the wire (for tests/benches).
-  uint64_t packets_sent() const { return packets_sent_; }
+  uint64_t packets_sent() const { return packets_sent_.load(std::memory_order_relaxed); }
 
  private:
   friend class DatagramEndpoint;
   friend class Connection;
   friend class Acceptor;
 
+  /// Mutable fabric state owned by one host — touched only from that host's
+  /// shard (or serial phases), so no locks anywhere on the data path.
+  struct HostNet {
+    std::map<Port, DatagramEndpoint*> bindings;
+    std::map<Port, Acceptor*> listeners;
+    /// Last scheduled arrival per (src, dst) address pair with src on this
+    /// host, enforcing per-pair FIFO.
+    std::map<std::pair<NetAddr, NetAddr>, sim::Time> last_delivery;
+    Port next_auto_port = 1 << 16;
+    /// Connections with an end on this host (clients at creation, servers
+    /// at SYN arrival); crash_host scans these.
+    std::vector<std::weak_ptr<Connection::State>> conns;
+    /// Cached obs instruments for this host's sends, keyed by the hub they
+    /// were resolved against.
+    obs::Hub* obs_hub = nullptr;
+    obs::Counter* obs_packets = nullptr;
+    obs::Counter* obs_bytes = nullptr;
+    std::map<sim::HostId, obs::Histogram*> obs_links;
+  };
+
+  HostNet& per_host(sim::HostId id) {
+    assert(id < per_host_.size());
+    return *per_host_[id];
+  }
   bool host_alive(sim::HostId id) const;
   /// Observability: counts one wire packet and records its transit latency
   /// into the per-link histogram. No-op without an attached hub; resolved
@@ -187,27 +227,19 @@ class Network {
   /// Schedules wire transit and delivery into the bound inbox (dropped if
   /// either host dies first or nothing is bound on arrival).
   void transmit(TransportKind kind, Packet packet);
-  /// Arrival-time half of transmit: hands the packet to the bound inbox.
+  /// Arrival-time half of transmit, executing on the destination host's
+  /// node: hands the packet to the bound inbox.
   void deliver_packet(Packet packet);
   void unbind(NetAddr addr);
   void unlisten(NetAddr addr);
-  Port next_auto_port_ = 1 << 16;
 
   sim::Engine& engine_;
   FaultInjector faults_{engine_};
   std::vector<sim::HostPtr> hosts_;
-  std::map<NetAddr, DatagramEndpoint*> bindings_;
-  /// Last scheduled arrival per (src, dst) pair, enforcing per-pair FIFO.
-  std::map<std::pair<NetAddr, NetAddr>, sim::Time> last_delivery_;
-  std::map<NetAddr, Acceptor*> listeners_;
-  std::vector<std::weak_ptr<Connection::State>> conn_states_;
-  uint64_t packets_sent_ = 0;
-
-  /// Cached obs instruments, keyed by the hub they were resolved against.
-  obs::Hub* obs_hub_ = nullptr;
-  obs::Counter* obs_packets_ = nullptr;
-  obs::Counter* obs_bytes_ = nullptr;
-  std::map<std::pair<sim::HostId, sim::HostId>, obs::Histogram*> obs_links_;
+  /// unique_ptr for address stability: add_host (serial) may grow the
+  /// vector while shards hold references across windows.
+  std::vector<std::unique_ptr<HostNet>> per_host_;
+  std::atomic<uint64_t> packets_sent_{0};
 };
 
 }  // namespace starfish::net

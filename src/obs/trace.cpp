@@ -1,11 +1,17 @@
 #include "obs/trace.hpp"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <string_view>
 
 namespace starfish::obs {
 
 void Tracer::push(TraceEvent ev) {
+  TraceOrder& ord = trace_order();
+  ev.order = ord;
+  ++ord.emission;
+  std::lock_guard<std::mutex> lock(mu_);
   ++recorded_;
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(ev));
@@ -18,39 +24,64 @@ void Tracer::push(TraceEvent ev) {
 void Tracer::begin(uint64_t ts, const char* category, std::string name, uint32_t host,
                    uint64_t fiber) {
   if (!enabled_) return;
-  push({ts, 0, TraceEvent::Phase::kBegin, host, fiber, std::move(name), category});
+  push({ts, 0, TraceEvent::Phase::kBegin, host, fiber, std::move(name), category, {}});
 }
 
 void Tracer::end(uint64_t ts, const char* category, std::string name, uint32_t host,
                  uint64_t fiber) {
   if (!enabled_) return;
-  push({ts, 0, TraceEvent::Phase::kEnd, host, fiber, std::move(name), category});
+  push({ts, 0, TraceEvent::Phase::kEnd, host, fiber, std::move(name), category, {}});
 }
 
 void Tracer::complete(uint64_t ts, uint64_t dur, const char* category, std::string name,
                       uint32_t host, uint64_t fiber) {
   if (!enabled_) return;
-  push({ts, dur, TraceEvent::Phase::kComplete, host, fiber, std::move(name), category});
+  push({ts, dur, TraceEvent::Phase::kComplete, host, fiber, std::move(name), category, {}});
 }
 
 void Tracer::instant(uint64_t ts, const char* category, std::string name, uint32_t host,
                      uint64_t fiber) {
   if (!enabled_) return;
-  push({ts, 0, TraceEvent::Phase::kInstant, host, fiber, std::move(name), category});
+  push({ts, 0, TraceEvent::Phase::kInstant, host, fiber, std::move(name), category, {}});
+}
+
+size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+uint64_t Tracer::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_ - ring_.size();
 }
 
 std::vector<TraceEvent> Tracer::snapshot() const {
   std::vector<TraceEvent> out;
-  out.reserve(ring_.size());
-  // Once full, `next_` points at the oldest retained event.
-  const size_t start = ring_.size() < capacity_ ? 0 : next_;
-  for (size_t i = 0; i < ring_.size(); ++i) {
-    out.push_back(ring_[(start + i) % ring_.size()]);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(ring_.size());
+    // Once full, `next_` points at the oldest retained event.
+    const size_t start = ring_.size() < capacity_ ? 0 : next_;
+    for (size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(start + i) % ring_.size()]);
+    }
   }
+  // Logical order, independent of which thread pushed first. stable_sort:
+  // records from outside any engine event (equal stamps cannot happen from
+  // concurrent shards, which always run inside stamped events) keep record
+  // order.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) { return a.order < b.order; });
   return out;
 }
 
 void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   ring_.clear();
   next_ = 0;
   recorded_ = 0;

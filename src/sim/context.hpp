@@ -31,6 +31,18 @@
 #define STARFISH_FAST_CONTEXT 0
 #endif
 
+// Whether fiber switches are announced to ThreadSanitizer through the
+// __tsan_*_fiber API. Off by default: gcc's libtsan (the v3 runtime, gcc 12
+// through at least 12.2) SEGVs in its stack depot a handful of fiber
+// create/switch cycles into any process that uses the API — even the
+// documented minimal ucontext example crashes — while its swapcontext
+// interceptor alone handles the stack hop correctly and runs the full suite
+// clean. Build with -DSTARFISH_TSAN_FIBER_API=1 on a runtime where the API
+// works to get precise per-fiber shadow stacks back.
+#ifndef STARFISH_TSAN_FIBER_API
+#define STARFISH_TSAN_FIBER_API 0
+#endif
+
 #if STARFISH_FAST_CONTEXT
 
 #include <cstdint>

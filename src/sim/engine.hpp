@@ -1,24 +1,40 @@
-// Deterministic discrete-event engine.
+// Deterministic discrete-event engine, sharded across host threads.
 //
-// Single-threaded: events execute on the main context in (time, sequence)
-// order, so two runs with the same seed are identical. Fibers are resumed by
-// events; blocking primitives park the current fiber and schedule/await a
-// wake event.
+// Events execute in a single global total order keyed by
+// (time, origin node, per-node sequence): each scheduling *node* (node 0 =
+// control plane, one node per simulated host) stamps the events it creates
+// from its own counter. Because every node's execution history is
+// deterministic, the counters advance identically no matter how the nodes
+// are placed on threads — which is what makes the sharded engine replay the
+// sequential engine bit-for-bit (DESIGN.md section 13).
 //
-// Hot-path layout (see DESIGN.md section 11): timer events live in
-// slab-pooled records with inline callback storage (SmallFn) ordered by a
-// 4-ary min-heap of trivially-copyable (time, seq, node) entries; same-
-// timestamp wakeups bypass the heap entirely through a FIFO ready ring.
-// Dispatch interleaves the two by (time, seq), which is exactly the order
-// the old single priority queue produced — the engine_golden_test goldens
-// pin that equivalence.
+// Sequential mode (shards() == 1, the default) is the PR4/PR5 hot path:
+// slab-pooled events with inline callback storage (SmallFn) ordered by a
+// 4-ary min-heap of trivially-copyable (time, node, seq) entries, same-
+// timestamp wakeups through an order-preserving ready ring, recycled
+// guard-paged fiber stacks. The engine_golden_test goldens pin that the
+// dispatch order equals the old single priority queue's.
+//
+// Parallel mode (set_shards(N), N > 1) partitions hosts round-robin across
+// N shards, each owning all of the above machinery privately, and runs
+// conservative time windows: every shard may dispatch freely below
+//   window_end = min(next event time over all shards) + lookahead
+// because no cross-shard interaction can arrive below that bound (lookahead
+// is the minimum cross-host network latency, reported by the net layer).
+// Cross-shard schedules are buffered in per-(src,dst) exchange queues and
+// merged into the destination heap at the epoch barrier; control-node events
+// run serially between windows (stop-the-world), so host crashes and other
+// global mutations never race a window.
 #pragma once
 
 #include <cassert>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/obs.hpp"
@@ -30,62 +46,293 @@
 
 namespace starfish::sim {
 
+/// Pooled timer event: callback storage that never moves once scheduled.
+/// Nodes are recycled through an intrusive free list; slabs are only ever
+/// appended, so node pointers stay stable across scheduling from inside
+/// event callbacks.
+struct EventNode {
+  SmallFn fn;
+  NodeId exec_node = kControlNode;  ///< node context the callback runs under
+  EventNode* next_free = nullptr;
+};
+
+class EventPool {
+ public:
+  EventNode* acquire() {
+    if (free_ == nullptr) grow();
+    EventNode* n = free_;
+    free_ = n->next_free;
+    n->next_free = nullptr;
+    return n;
+  }
+  /// Destroys the callable and returns the node to the free list.
+  void release(EventNode* n) {
+    n->fn.reset();
+    n->next_free = free_;
+    free_ = n;
+  }
+
+ private:
+  static constexpr size_t kSlabNodes = 256;
+  void grow();
+  std::vector<std::unique_ptr<EventNode[]>> slabs_;
+  EventNode* free_ = nullptr;
+};
+
+/// What the heap actually sifts: 32 trivially-copyable bytes per event.
+struct TimerEntry {
+  Time at;
+  NodeId node;   ///< origin node (allocated the seq)
+  uint64_t seq;  ///< per-origin-node sequence number
+  EventNode* event;
+};
+
+/// The global total order every queue agrees on.
+inline bool event_key_before(Time a_at, NodeId a_node, uint64_t a_seq, Time b_at,
+                             NodeId b_node, uint64_t b_seq) {
+  if (a_at != b_at) return a_at < b_at;
+  if (a_node != b_node) return a_node < b_node;
+  return a_seq < b_seq;
+}
+
+/// 4-ary min-heap on (at, node, seq): shallower than binary for the same
+/// size, pops move entries instead of copying callables.
+class TimerHeap {
+ public:
+  bool empty() const { return v_.empty(); }
+  size_t size() const { return v_.size(); }
+  const TimerEntry& top() const { return v_[0]; }
+  void push(TimerEntry e) {
+    size_t i = v_.size();
+    v_.push_back(e);  // placeholder; the hole walks up
+    while (i > 0) {
+      const size_t parent = (i - 1) / kArity;
+      if (!before(e, v_[parent])) break;
+      v_[i] = v_[parent];
+      i = parent;
+    }
+    v_[i] = e;
+  }
+  TimerEntry pop();
+
+ private:
+  static constexpr size_t kArity = 4;
+  static bool before(const TimerEntry& a, const TimerEntry& b) {
+    return event_key_before(a.at, a.node, a.seq, b.at, b.node, b.seq);
+  }
+  std::vector<TimerEntry> v_;
+};
+
+/// A woken fiber waiting its turn; carries the keep-alive the old wake
+/// lambda captured and the epoch that makes stale wakes harmless.
+struct ReadyEntry {
+  Time at = 0;
+  NodeId node = kControlNode;  ///< origin node of the wake
+  uint64_t seq = 0;
+  FiberPtr fiber;
+  uint64_t epoch = 0;
+};
+
+/// Power-of-two ring buffer; push/pop never allocate at steady state.
+/// Pushes insert in (at, node, seq) order from the back: wakes from one
+/// node arrive already ordered (zero shifts, the dominant case), and the
+/// rare same-time wake from a lower node shifts a handful of entries —
+/// keeping the front the global minimum, which the multi-node total order
+/// requires (a FIFO ring is only sorted when all wakes share one counter).
+class ReadyQueue {
+ public:
+  bool empty() const { return count_ == 0; }
+  size_t size() const { return count_; }
+  const ReadyEntry& front() const { return buf_[head_]; }
+  void push(ReadyEntry e) {
+    if (count_ == buf_.size()) grow();
+    size_t pos = count_;
+    while (pos > 0) {
+      ReadyEntry& prev = buf_[(head_ + pos - 1) & mask_];
+      if (!event_key_before(e.at, e.node, e.seq, prev.at, prev.node, prev.seq)) break;
+      buf_[(head_ + pos) & mask_] = std::move(prev);
+      --pos;
+    }
+    buf_[(head_ + pos) & mask_] = std::move(e);
+    ++count_;
+  }
+  ReadyEntry pop() {
+    ReadyEntry e = std::move(buf_[head_]);
+    head_ = (head_ + 1) & mask_;
+    --count_;
+    return e;
+  }
+
+ private:
+  void grow();
+  std::vector<ReadyEntry> buf_;
+  size_t head_ = 0;
+  size_t count_ = 0;
+  size_t mask_ = 0;
+};
+
+/// A cross-shard schedule buffered until the epoch barrier.
+struct ExchangeMsg {
+  Time at;
+  NodeId origin;
+  uint64_t seq;
+  NodeId exec_node;
+  SmallFn fn;
+};
+
+/// One event-loop partition: the complete PR4 machinery, privately owned.
+/// Everything here is touched only by the shard's thread during a window,
+/// or by the coordinator between windows (barrier-synchronized). Internal
+/// to the engine; public members because Engine and Fiber share it.
+struct Shard {
+  Time now = 0;
+  TimerHeap timers;
+  ReadyQueue ready;
+  EventPool pool;
+  /// Shared with every fiber homed here (FiberPtrs can outlive the engine).
+  std::shared_ptr<StackPool> stack_pool = std::make_shared<StackPool>();
+  Fiber* current = nullptr;
+#if STARFISH_FAST_CONTEXT
+  /// Main context's saved stack pointer while a fiber runs.
+  void* main_sp = nullptr;
+#else
+  ucontext_t main_context{};
+#endif
+#if STARFISH_TSAN_FIBER_API
+  void* tsan_main = nullptr;  ///< TSan shadow context of the shard thread
+#endif
+  uint64_t events = 0;  ///< events dispatched on this shard, ever
+  /// Keeps fibers alive; swept opportunistically when finished.
+  std::vector<FiberPtr> fibers;
+  /// outbox[d]: cross-shard schedules destined for shard d this window.
+  std::vector<std::vector<ExchangeMsg>> outbox;
+  uint64_t cross_msgs = 0;       ///< cross-shard messages sent, ever
+  uint64_t barrier_wait_ns = 0;  ///< wall ns spent idle at barriers (S > 1)
+  // Published-so-far marks so metrics counters receive deltas per run.
+  uint64_t events_published = 0;
+  uint64_t cross_published = 0;
+  uint64_t wait_published = 0;
+
+  Shard() = default;
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+};
+
 class Engine {
  public:
   /// The seed feeds the engine-owned RNG that randomized simulation
-  /// components (fault injection, chaos schedules) draw from. Two engines
-  /// with the same seed and the same event sequence replay bit-for-bit.
-  explicit Engine(uint64_t seed = 0) : seed_(seed), rng_(seed) { set_obs(obs::default_hub()); }
+  /// components draw from, and derives the per-host fault streams in the
+  /// net layer. Two engines with the same seed replay bit-for-bit — at any
+  /// shard count.
+  explicit Engine(uint64_t seed = 0);
   ~Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  Time now() const { return now_; }
+  /// Shard-aware clock: inside an event or fiber this is the executing
+  /// shard's clock (exact for everything the caller can observe); outside
+  /// run() it is the global clock. Daemon/GCS code calls this freely.
+  Time now() const {
+    const ExecCtx& c = tls_;
+    return c.engine == this ? c.shard->now : global_now_;
+  }
   uint64_t seed() const { return seed_; }
-  /// The engine's deterministic RNG. Draw order is deterministic because
-  /// events execute in (time, sequence) order on a single thread.
-  util::Rng& rng() { return rng_; }
+  /// The engine's deterministic RNG. Serial contexts only (the control
+  /// node and code outside run()); shard-parallel code must use its own
+  /// per-node stream (the fault injector does).
+  util::Rng& rng() {
+    assert(!parallel_active_ && "Engine::rng() from a parallel window");
+    return rng_;
+  }
+
+  // --- Sharding ---
+
+  /// Partitions hosts across `n` worker threads (1 = sequential, the
+  /// default). Call before registering nodes or scheduling anything.
+  void set_shards(unsigned n);
+  unsigned shards() const { return shard_count_; }
+
+  /// Mints a new node (shard placement is fixed immediately). Hosts call
+  /// this at construction; everything else runs on the control node.
+  NodeId register_node();
+  size_t node_count() const { return nodes_.size(); }
+
+  /// The conservative window slack: cross-shard events must be scheduled at
+  /// least this far in the future. The net layer reports its minimum
+  /// cross-host latency via note_min_latency(); set_lookahead() overrides.
+  Duration lookahead() const { return lookahead_ == 0 ? 1 : lookahead_; }
+  void set_lookahead(Duration d) {
+    assert(d >= 1);
+    lookahead_ = d;
+  }
+  /// Lower the lookahead to `d` if it is currently larger (or unset).
+  void note_min_latency(Duration d) {
+    if (d < 1) d = 1;
+    if (lookahead_ == 0 || d < lookahead_) lookahead_ = d;
+  }
 
   /// Observability hub recording this engine's metrics and trace events
   /// (nullptr = observability off, the default unless a process-default hub
   /// is installed). Attaching a hub never perturbs the simulation.
   obs::Hub* obs() const { return obs_; }
-  void set_obs(obs::Hub* hub) {
-    obs_ = hub;
-    obs_events_ = hub ? &hub->metrics.counter("sim.events_executed") : nullptr;
-    obs_switches_ = hub ? &hub->metrics.counter("sim.fiber_switches") : nullptr;
-    obs_runq_ = hub ? &hub->metrics.histogram("sim.run_queue_depth",
-                                              obs::HistogramSpec::exponential(1, 2.0, 20))
-                    : nullptr;
-    obs_fn_heap_ = hub ? &hub->metrics.counter("sim.event_fn_heap") : nullptr;
-    obs_stack_hits_ = hub ? &hub->metrics.counter("sim.stack_pool.hits") : nullptr;
-    obs_stack_misses_ = hub ? &hub->metrics.counter("sim.stack_pool.misses") : nullptr;
-  }
+  void set_obs(obs::Hub* hub);
   /// The tracer when attached and enabled, else nullptr — the one-branch
   /// guard every trace call site uses.
   obs::Tracer* tracer() const {
     return obs_ != nullptr && obs_->tracer.enabled() ? &obs_->tracer : nullptr;
   }
 
-  /// Schedules a callback at now() + delay. Callbacks run on the main
-  /// context and must not block. Captures up to SmallFn::kInlineBytes are
-  /// constructed directly inside the pooled event record — no allocation,
-  /// no callable move.
+  /// Schedules a callback at now() + delay on the calling context's node.
+  /// Callbacks run on the main context and must not block. Captures up to
+  /// SmallFn::kInlineBytes are constructed directly inside the pooled event
+  /// record — no allocation, no callable move.
   template <typename F>
   void schedule(Duration delay, F&& fn) {
-    assert(delay >= 0);
-    EventNode* n = pool_.acquire();
-    n->fn.emplace(std::forward<F>(fn));
-    if (obs_fn_heap_ != nullptr && n->fn.heap_allocated()) obs_fn_heap_->add(1);
-    timers_.push(TimerEntry{now_ + delay, next_seq_++, n});
+    const ExecCtx& c = tls_;
+    schedule_on(c.engine == this ? c.node : kControlNode, delay, std::forward<F>(fn));
   }
 
-  /// Creates a fiber and schedules it to start at now() + delay.
+  /// Schedules a callback to execute under `exec_node`'s context (on its
+  /// shard). From inside a parallel window, a cross-shard target requires
+  /// delay >= lookahead() — the conservative-synchronization contract; the
+  /// net layer's minimum latency guarantees it for all message traffic.
+  template <typename F>
+  void schedule_on(NodeId exec_node, Duration delay, F&& fn) {
+    assert(delay >= 0);
+    assert(exec_node < nodes_.size());
+    const ExecCtx& c = tls_;
+    const bool own = c.engine == this;
+    const NodeId origin = own ? c.node : kControlNode;
+    const Time at = (own ? c.shard->now : global_now_) + delay;
+    const uint64_t seq = nodes_[origin].next_seq++;
+    const uint32_t dst_idx = nodes_[exec_node].shard;
+    Shard* dst = shards_[dst_idx].get();
+    if (parallel_active_ && own && dst != c.shard) {
+      assert(at >= window_end_ && "cross-shard schedule below the lookahead bound");
+      c.shard->outbox[dst_idx].push_back(
+          ExchangeMsg{at, origin, seq, exec_node, SmallFn(std::forward<F>(fn))});
+      ++c.shard->cross_msgs;
+      return;
+    }
+    EventNode* n = dst->pool.acquire();
+    n->fn.emplace(std::forward<F>(fn));
+    n->exec_node = exec_node;
+    if (obs_fn_heap_ != nullptr && n->fn.heap_allocated()) obs_fn_heap_->add(1);
+    dst->timers.push(TimerEntry{at, origin, seq, n});
+  }
+
+  /// Creates a fiber on the calling context's node and schedules it to
+  /// start at now() + delay.
   FiberPtr spawn(std::string name, std::function<void()> body, Duration delay = 0);
+  /// Creates a fiber homed on `node` (Host::spawn uses this). Cross-shard
+  /// spawns are serial-phase only.
+  FiberPtr spawn_on(NodeId node, std::string name, std::function<void()> body,
+                    Duration delay = 0);
 
   /// Kills a fiber: a blocked fiber is woken with WakeReason::kKilled (its
   /// blocking primitive throws FiberKilled); a runnable/running fiber throws
-  /// at its next blocking point. Idempotent.
+  /// at its next blocking point. Idempotent. Cross-shard kills are
+  /// serial-phase only (host crashes run on the control node).
   void kill(const FiberPtr& fiber);
 
   /// Runs events until the queue is empty.
@@ -93,21 +340,34 @@ class Engine {
   /// Runs events with timestamp <= now()+d, then sets now() = start+d.
   void run_for(Duration d);
   /// True if no events remain.
-  bool idle() const { return timers_.empty() && ready_.empty(); }
-  uint64_t events_executed() const { return events_executed_; }
+  bool idle() const;
+  uint64_t events_executed() const;
+  /// Events dispatched by one shard. Sequential mode has a single shard
+  /// (index 0); parallel mode has shards()+1 — index 0 is the control
+  /// plane's, 1..shards() are the host workers. Out-of-range reads 0.
+  uint64_t shard_events(unsigned shard) const;
+  /// Parallel epochs (windows) executed; 0 in sequential mode.
+  uint64_t epochs() const { return epochs_; }
+  /// True while inside a parallel window (shared-state mutators assert
+  /// against this; serial phases and sequential mode return false).
+  bool in_parallel() const { return parallel_active_; }
 
-  /// The shared fiber-stack recycling pool (stats for tests and reporting).
-  const StackPool& stack_pool() const { return *stack_pool_; }
+  /// The stack pool of shard 0 (sequential mode's only pool; stats for
+  /// tests and reporting).
+  const StackPool& stack_pool() const { return *shards_[0]->stack_pool; }
 
   // --- Fiber-side API (call only from inside a fiber) ---
 
   /// The currently running fiber, or nullptr when on the main context.
-  Fiber* current() const { return current_; }
+  Fiber* current() const {
+    const ExecCtx& c = tls_;
+    return c.engine == this ? c.shard->current : nullptr;
+  }
 
   /// Suspends the current fiber until t (virtual time). Throws FiberKilled
   /// if killed while sleeping.
   void sleep_until(Time t);
-  void sleep(Duration d) { sleep_until(now_ + d); }
+  void sleep(Duration d) { sleep_until(now() + d); }
   /// Charges CPU time to the current fiber; identical to sleep but named for
   /// intent at call sites that model computation.
   void advance(Duration d) { sleep(d); }
@@ -122,124 +382,62 @@ class Engine {
   WakeReason block_until(Time deadline);
 
   /// Wakes a blocked fiber (no-op if not blocked or already woken). The
-  /// resume is queued on the ready ring — O(1), no heap traffic, no
-  /// allocation — and dispatched in global (time, seq) order.
+  /// resume is queued on the fiber's home ready ring — O(1) amortized, no
+  /// heap traffic — and dispatched in global (time, node, seq) order.
+  /// Cross-shard wakes are serial-phase only.
   void wake(Fiber* fiber, WakeReason reason = WakeReason::kSignal);
 
  private:
   friend class Fiber;
 
-  /// Pooled timer event: callback storage that never moves once scheduled.
-  /// Nodes are recycled through an intrusive free list; slabs are only ever
-  /// appended, so node pointers stay stable across scheduling from inside
-  /// event callbacks.
-  struct EventNode {
-    SmallFn fn;
-    EventNode* next_free = nullptr;
+  /// Where execution currently stands on this thread: which engine, which
+  /// shard's event loop, and which node's context the running event holds.
+  struct ExecCtx {
+    Engine* engine;
+    Shard* shard;
+    NodeId node;
+  };
+  // Value-initialized (all null): no NSDMIs, which an in-class inline
+  // thread_local of the enclosing class's nested type cannot use.
+  inline static thread_local ExecCtx tls_{};
+
+  /// Per-node determinism state. Padded: shards bump different nodes'
+  /// counters concurrently.
+  struct alignas(64) NodeState {
+    uint64_t next_seq = 0;
+    uint64_t next_fiber = 1;
+    uint32_t shard = 0;  ///< index into shards_
   };
 
-  class EventPool {
-   public:
-    EventNode* acquire() {
-      if (free_ == nullptr) grow();
-      EventNode* n = free_;
-      free_ = n->next_free;
-      n->next_free = nullptr;
-      return n;
-    }
-    /// Destroys the callable and returns the node to the free list.
-    void release(EventNode* n) {
-      n->fn.reset();
-      n->next_free = free_;
-      free_ = n;
-    }
-
-   private:
-    static constexpr size_t kSlabNodes = 256;
-    void grow();
-    std::vector<std::unique_ptr<EventNode[]>> slabs_;
-    EventNode* free_ = nullptr;
-  };
-
-  /// What the heap actually sifts: 24 trivially-copyable bytes per event.
-  struct TimerEntry {
+  struct NextKey {
     Time at;
+    NodeId node;
     uint64_t seq;
-    EventNode* node;
   };
 
-  /// 4-ary min-heap on (at, seq): shallower than binary for the same size,
-  /// pops move entries instead of copying callables.
-  class TimerHeap {
-   public:
-    bool empty() const { return v_.empty(); }
-    size_t size() const { return v_.size(); }
-    const TimerEntry& top() const { return v_[0]; }
-    void push(TimerEntry e) {
-      size_t i = v_.size();
-      v_.push_back(e);  // placeholder; the hole walks up
-      while (i > 0) {
-        const size_t parent = (i - 1) / kArity;
-        if (!before(e, v_[parent])) break;
-        v_[i] = v_[parent];
-        i = parent;
-      }
-      v_[i] = e;
-    }
-    TimerEntry pop();
+  /// Smallest pending key on a shard (heap top vs ready front).
+  bool next_key(const Shard& s, NextKey& out) const;
 
-   private:
-    static constexpr size_t kArity = 4;
-    static bool before(const TimerEntry& a, const TimerEntry& b) {
-      return a.at != b.at ? a.at < b.at : a.seq < b.seq;
-    }
-    std::vector<TimerEntry> v_;
-  };
+  /// Dispatches the next event on `s` in (time, node, seq) order across the
+  /// ready ring and the timer heap; returns false when none remains at
+  /// <= deadline (inclusive).
+  bool dispatch_one(Shard& s, Time deadline);
+  void note_event_dispatched(Shard& s, size_t remaining);
 
-  /// A woken fiber waiting its turn; carries the keep-alive the old wake
-  /// lambda captured and the epoch that makes stale wakes harmless.
-  struct ReadyEntry {
-    Time at = 0;
-    uint64_t seq = 0;
-    FiberPtr fiber;
-    uint64_t epoch = 0;
-  };
+  void run_until(Time deadline, bool bounded);
+  void run_parallel(Time deadline, bool bounded);
+  /// Worker body: dispatch everything strictly below `limit`.
+  void run_shard_window(Shard& s, Time limit);
+  void worker_main(unsigned shard_idx);
+  void ensure_threads();
+  void stop_threads();
+  void merge_outboxes();
+  void publish_shard_metrics();
 
-  /// Power-of-two ring buffer; push/pop never allocate at steady state.
-  class ReadyQueue {
-   public:
-    bool empty() const { return count_ == 0; }
-    size_t size() const { return count_; }
-    const ReadyEntry& front() const { return buf_[head_]; }
-    void push(ReadyEntry e) {
-      if (count_ == buf_.size()) grow();
-      buf_[(head_ + count_) & mask_] = std::move(e);
-      ++count_;
-    }
-    ReadyEntry pop() {
-      ReadyEntry e = std::move(buf_[head_]);
-      head_ = (head_ + 1) & mask_;
-      --count_;
-      return e;
-    }
-
-   private:
-    void grow();
-    std::vector<ReadyEntry> buf_;
-    size_t head_ = 0;
-    size_t count_ = 0;
-    size_t mask_ = 0;
-  };
-
-  /// Dispatches the next event in (time, seq) order across the ready ring
-  /// and the timer heap; returns false when none remains at <= deadline.
-  bool dispatch_one(Time deadline);
-  void note_event_dispatched(size_t remaining);
-
-  void resume(Fiber* fiber);
+  void resume(Shard& s, Fiber* fiber);
   void fiber_exited();
 
-  Time now_ = 0;
+  Time global_now_ = 0;
   uint64_t seed_ = 0;
   util::Rng rng_;
   obs::Hub* obs_ = nullptr;
@@ -249,26 +447,25 @@ class Engine {
   obs::Counter* obs_fn_heap_ = nullptr;
   obs::Counter* obs_stack_hits_ = nullptr;
   obs::Counter* obs_stack_misses_ = nullptr;
-  uint64_t next_seq_ = 0;
-  uint64_t next_fiber_id_ = 1;
-  uint64_t events_executed_ = 0;
 
-  /// Shared with every Fiber: FiberPtrs held by user code may outlive the
-  /// engine, and their stacks must still find their way back.
-  std::shared_ptr<StackPool> stack_pool_ = std::make_shared<StackPool>();
-  EventPool pool_;
-  TimerHeap timers_;
-  ReadyQueue ready_;
+  std::vector<NodeState> nodes_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  unsigned shard_count_ = 1;  ///< worker shards (1 = sequential)
+  Duration lookahead_ = 0;    ///< 0 = unset (treated as 1)
+  bool parallel_active_ = false;
+  Time window_end_ = 0;  ///< exclusive bound of the active window
+  uint64_t epochs_ = 0;
+  uint64_t epochs_published_ = 0;
 
-  Fiber* current_ = nullptr;
-#if STARFISH_FAST_CONTEXT
-  /// Main context's saved stack pointer while a fiber runs.
-  void* main_sp_ = nullptr;
-#else
-  ucontext_t main_context_{};
-#endif
-  /// Keeps fibers alive; swept opportunistically when finished.
-  std::vector<FiberPtr> fibers_;
+  // Worker thread pool (created at first parallel run).
+  std::vector<std::thread> threads_;
+  std::mutex wmu_;
+  std::condition_variable cv_go_;
+  std::condition_variable cv_done_;
+  uint64_t go_gen_ = 0;
+  unsigned pending_ = 0;
+  bool stopping_ = false;
+  Time window_ = 0;  ///< exclusive limit handed to workers
 };
 
 }  // namespace starfish::sim

@@ -5,6 +5,11 @@
 // (sleep, channel recv, condition wait); the engine resumes them at later
 // virtual times. Killing a fiber (host crash) unwinds its stack by throwing
 // FiberKilled from the next blocking point, so RAII cleanup still runs.
+//
+// Since the engine went multi-shard (DESIGN.md section 13) every fiber has
+// a home *node* fixed at creation; the node determines the shard (and thus
+// the OS thread) the fiber always runs on. Node 0 is the control plane and
+// runs on the coordinator between windows.
 #pragma once
 
 #include <ucontext.h>
@@ -20,6 +25,13 @@
 namespace starfish::sim {
 
 class Engine;
+struct Shard;
+
+/// Logical execution lane for determinism and shard placement. Node 0 (the
+/// control node) belongs to the coordinator; Engine::register_node() mints
+/// one per host. The event total order is (time, node, per-node seq).
+using NodeId = uint32_t;
+constexpr NodeId kControlNode = 0;
 
 /// Thrown inside a fiber when it has been killed; caught by the trampoline.
 /// User code should let it propagate (catch-all handlers must rethrow it).
@@ -32,13 +44,15 @@ enum class WakeReason : uint8_t { kTimer, kSignal, kKilled, kClosed };
 
 class Fiber : public std::enable_shared_from_this<Fiber> {
  public:
-  Fiber(Engine& engine, std::string name, std::function<void()> body);
+  Fiber(Engine& engine, NodeId node, std::string name, std::function<void()> body);
   ~Fiber();
   Fiber(const Fiber&) = delete;
   Fiber& operator=(const Fiber&) = delete;
 
   const std::string& name() const { return name_; }
+  /// (node << 32) | per-node counter: unique and shard-count-independent.
   uint64_t id() const { return id_; }
+  NodeId node() const { return node_; }
   FiberState state() const { return state_; }
   bool finished() const { return state_ == FiberState::kFinished; }
   bool killed() const { return killed_; }
@@ -59,6 +73,8 @@ class Fiber : public std::enable_shared_from_this<Fiber> {
   Engine& engine_;
   std::string name_;
   uint64_t id_;
+  NodeId node_;
+  Shard* home_;  ///< owning shard, fixed at creation
   std::function<void()> body_;
 
   FiberState state_ = FiberState::kCreated;
@@ -72,6 +88,9 @@ class Fiber : public std::enable_shared_from_this<Fiber> {
   void* ctx_sp_ = nullptr;
 #else
   ucontext_t context_{};
+#endif
+#if STARFISH_TSAN_FIBER_API
+  void* tsan_fiber_ = nullptr;  ///< TSan's shadow context for this stack
 #endif
   /// Owns the recycling pool jointly with the engine: a FiberPtr held by
   /// user code can outlive the engine, and ~Fiber must still release.
