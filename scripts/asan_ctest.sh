@@ -49,6 +49,11 @@ cd build-asan
 # (-R before -j: ctest's -j greedily consumes the following argument.)
 STARFISH_OBS_FORCE=1 ctest --output-on-failure -R '^Obs' -j "$@"
 ctest --output-on-failure -j "$@"
+# Chaos + replica tiers again with the diskless checkpoint backend: the
+# env routes every cluster whose test did not pin a backend through the
+# in-memory replication tier, sanitizing the put/get/crash-invalidation
+# and commit-after-transfer paths under injected faults.
+STARFISH_CKPT_BACKEND=replica ctest --output-on-failure -R 'Chaos|Replica' -j "$@"
 
 # Perf smoke rides along on the non-sanitized Release tree: warn-only
 # comparison of the engine hot-path benches vs scripts/perf_baseline.json.

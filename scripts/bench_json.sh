@@ -1,22 +1,24 @@
 #!/usr/bin/env bash
 # Machine-readable benchmark runner: builds a Release tree and writes a
 # BENCH_*.json snapshot at the repo root (name = first argument, default
-# BENCH_PR6.json), combining
+# BENCH_PR7.json), combining
 #   - google-benchmark's native JSON for the host micro benches,
 #   - the --json runner mode of fig3/fig4/fig5 (host wall-clock, simulated
-#     ns and simulator events/sec per run), and
+#     ns and simulator events/sec per run),
 #   - the scaling_nodes thread-scaling sweep (aggregate events/sec at
-#     1/2/4 worker shards over the same 64-host workload).
+#     1/2/4 worker shards over the same 64-host workload), and
+#   - the ablation_recovery diskless sweep (disk vs in-memory replicated
+#     checkpoints: restore I/O per backend at 1..R holder crashes).
 # The figures' human-readable stdout is unchanged and discarded here.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT_NAME="${1:-BENCH_PR6.json}"
+OUT_NAME="${1:-BENCH_PR7.json}"
 BUILD=build-bench
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" -j --target \
   micro_benchmarks fig3_native_checkpoint fig4_vm_checkpoint fig5_roundtrip \
-  scaling_nodes >/dev/null
+  scaling_nodes ablation_recovery >/dev/null
 
 out=$(mktemp -d)
 trap 'rm -rf "$out"' EXIT
@@ -26,6 +28,7 @@ trap 'rm -rf "$out"' EXIT
 "$BUILD"/bench/fig4_vm_checkpoint --json "$out/fig4.json" >/dev/null
 "$BUILD"/bench/fig5_roundtrip --json "$out/fig5.json" >/dev/null
 "$BUILD"/bench/scaling_nodes --threads 1,2,4 --json "$out/scaling.json" >/dev/null
+"$BUILD"/bench/ablation_recovery --json "$out/recovery.json" >/dev/null
 
 python3 - "$out" "$OUT_NAME" <<'EOF'
 import json, os, sys
@@ -34,7 +37,8 @@ d = sys.argv[1]
 merged = {
     "schema": "starfish-bench-v1",
     "figures": [json.load(open(os.path.join(d, f)))
-                for f in ("fig3.json", "fig4.json", "fig5.json", "scaling.json")],
+                for f in ("fig3.json", "fig4.json", "fig5.json", "scaling.json",
+                          "recovery.json")],
     "micro": json.load(open(os.path.join(d, "micro.json"))),
 }
 with open(sys.argv[2], "w") as f:

@@ -36,3 +36,10 @@ ctest --output-on-failure -j "$@"
 echo "== TSan pass 2: sim/chaos tiers at STARFISH_SHARDS=4 =="
 STARFISH_SHARDS=4 ctest --output-on-failure -j \
   -R 'Chaos|Scenario|Resilience|Obs|Shard|Core|Property' "$@"
+
+echo "== TSan pass 3: chaos/replica tiers, diskless backend, 4 shards =="
+# The replica store is cluster-wide shared state reached from every worker
+# shard; this pass races its put/get/rebalance/crash-invalidation paths on
+# four threads with faults injected.
+STARFISH_SHARDS=4 STARFISH_CKPT_BACKEND=replica ctest --output-on-failure -j \
+  -R 'Chaos|Replica' "$@"

@@ -1,0 +1,18 @@
+// Checkpoint naming, shared by every storage backend (store.hpp's disk
+// model and replica.hpp's in-memory replication tier).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace starfish::ckpt {
+
+struct CkptKey {
+  std::string app;
+  uint32_t rank = 0;
+  uint64_t epoch = 0;  ///< coordinated: epoch; uncoordinated: checkpoint index
+  auto operator<=>(const CkptKey&) const = default;
+};
+
+}  // namespace starfish::ckpt

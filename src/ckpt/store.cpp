@@ -2,7 +2,18 @@
 
 #include <cassert>
 
+#include "net/network.hpp"
+
 namespace starfish::ckpt {
+
+void CheckpointStore::enable_replica_backend(net::Network& net, ReplicaOptions options) {
+  if (replica_) return;
+  replica_ = std::make_unique<ReplicaStore>(
+      engine_, options, [&net](sim::HostId h) { return net.host(h)->alive(); });
+  // Crash invalidation: the copies a dead host held are gone the instant it
+  // dies, before any recovery logic runs (crash_host is a serial phase).
+  net.add_crash_hook([this](sim::HostId h) { replica_->on_host_crash(h); });
+}
 
 void CheckpointStore::put(sim::Host& host, const CkptKey& key, Image image) {
   const uint64_t bytes = image.file_bytes;
@@ -32,7 +43,27 @@ void CheckpointStore::put(sim::Host& host, const CkptKey& key, Image image) {
   images_[key] = std::move(image);
 }
 
+void CheckpointStore::put(sim::Host& host, const CkptKey& key, Image image,
+                          const std::vector<sim::HostId>& holders) {
+  if (backend_ == CkptBackend::kReplica && replica_ && !holders.empty()) {
+    replica_->put(host, key, std::move(image), holders);
+    return;
+  }
+  put(host, key, std::move(image));
+}
+
 std::optional<Image> CheckpointStore::get(sim::Host& host, const CkptKey& key) {
+  if (replica_) {
+    if (auto found = replica_->get(host, key)) return found;
+    if (backend_ == CkptBackend::kReplica) {
+      // The replica tier was the write path but holds no surviving copy:
+      // fall back to whatever the disk tier has (counted so degraded-mode
+      // recovery is visible in the obs snapshot).
+      if (obs::Hub* hub = engine_.obs()) {
+        hub->metrics.counter("ckpt.replica.disk_fallbacks").add(1);
+      }
+    }
+  }
   std::optional<Image> found;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -45,6 +76,8 @@ std::optional<Image> CheckpointStore::get(sim::Host& host, const CkptKey& key) {
   if (obs::Hub* hub = engine_.obs()) {
     hub->metrics.counter("ckpt.store.images_read").add(1);
     hub->metrics.counter("ckpt.store.bytes_read").add(found->file_bytes);
+    hub->metrics.histogram("ckpt.store.read_ns")
+        .record(static_cast<uint64_t>(engine_.now() - start));
     if (hub->tracer.enabled()) {
       hub->tracer.complete(static_cast<uint64_t>(start),
                            static_cast<uint64_t>(engine_.now() - start), "ckpt",
@@ -57,10 +90,32 @@ std::optional<Image> CheckpointStore::get(sim::Host& host, const CkptKey& key) {
 }
 
 std::optional<uint64_t> CheckpointStore::file_bytes(const CkptKey& key) const {
+  if (replica_) {
+    if (auto b = replica_->file_bytes(key)) return b;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   auto it = images_.find(key);
   if (it == images_.end()) return std::nullopt;
   return it->second.file_bytes;
+}
+
+void CheckpointStore::put_meta(const CkptKey& key, util::Bytes meta) {
+  if (backend_ == CkptBackend::kReplica && replica_ && replica_->contains(key)) {
+    replica_->put_meta(key, std::move(meta));
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  metas_[key] = std::move(meta);
+}
+
+std::optional<util::Bytes> CheckpointStore::checkpoint_meta(const CkptKey& key) const {
+  if (replica_) {
+    if (auto m = replica_->checkpoint_meta(key)) return m;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metas_.find(key);
+  if (it == metas_.end()) return std::nullopt;
+  return it->second;
 }
 
 void CheckpointStore::commit(const std::string& app, uint64_t epoch) {
@@ -93,6 +148,21 @@ void CheckpointStore::note_begin(const std::string& app, uint64_t epoch) {
   if (!inserted && now < it->second) it->second = now;
 }
 
+void CheckpointStore::note_abort(const std::string& app) {
+  size_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    dropped = std::erase_if(begin_times_, [&](const auto& entry) {
+      return entry.first.first == app && !commit_times_.contains(entry.first);
+    });
+  }
+  if (dropped > 0) {
+    if (obs::Hub* hub = engine_.obs()) {
+      hub->metrics.counter("ckpt.store.epochs_aborted").add(dropped);
+    }
+  }
+}
+
 std::optional<sim::Duration> CheckpointStore::epoch_duration(const std::string& app,
                                                              uint64_t epoch) const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -102,6 +172,20 @@ std::optional<sim::Duration> CheckpointStore::epoch_duration(const std::string& 
   return c->second - b->second;
 }
 
+CheckpointStore::EpochStats CheckpointStore::epoch_stats(const std::string& app) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  EpochStats stats;
+  if (auto it = duration_agg_.find(app); it != duration_agg_.end()) stats = it->second;
+  for (const auto& [key, commit] : commit_times_) {
+    if (key.first != app) continue;
+    auto b = begin_times_.find(key);
+    if (b == begin_times_.end()) continue;
+    ++stats.epochs;
+    stats.total += commit - b->second;
+  }
+  return stats;
+}
+
 std::optional<uint64_t> CheckpointStore::latest_committed(const std::string& app) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = committed_.find(app);
@@ -109,10 +193,52 @@ std::optional<uint64_t> CheckpointStore::latest_committed(const std::string& app
   return it->second;
 }
 
+bool CheckpointStore::disk_chain_complete_locked(const CkptKey& key) const {
+  CkptKey at = key;
+  for (;;) {
+    auto it = images_.find(at);
+    if (it == images_.end()) return false;
+    if (!it->second.incremental) return true;
+    at.epoch = it->second.base_epoch;
+  }
+}
+
+std::optional<uint64_t> CheckpointStore::latest_recoverable(const std::string& app,
+                                                            uint32_t nprocs) const {
+  auto committed = latest_committed(app);
+  if (!committed) return std::nullopt;
+  if (backend_ != CkptBackend::kReplica || !replica_) return committed;
+  // Walk committed epochs newest-first; an epoch is recoverable when every
+  // rank's restore chain survives in at least one tier. Older epochs are
+  // usually gc'd, so the walk is short.
+  for (uint64_t epoch = *committed; epoch >= 1; --epoch) {
+    bool all = true;
+    for (uint32_t rank = 0; rank < nprocs && all; ++rank) {
+      const CkptKey key{app, rank, epoch};
+      if (replica_->recoverable(key)) continue;
+      std::lock_guard<std::mutex> lock(mu_);
+      all = disk_chain_complete_locked(key);
+    }
+    if (all) {
+      if (epoch != *committed) {
+        if (obs::Hub* hub = engine_.obs()) {
+          hub->metrics.counter("ckpt.replica.degraded_lines").add(1);
+        }
+      }
+      return epoch;
+    }
+  }
+  if (obs::Hub* hub = engine_.obs()) {
+    hub->metrics.counter("ckpt.replica.unrecoverable_lines").add(1);
+  }
+  return std::nullopt;
+}
+
 std::optional<uint64_t> CheckpointStore::latest_stored(const std::string& app,
                                                        uint32_t rank) const {
-  std::lock_guard<std::mutex> lock(mu_);
   std::optional<uint64_t> best;
+  if (replica_) best = replica_->latest_stored(app, rank);
+  std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [key, image] : images_) {
     if (key.app == app && key.rank == rank) {
       if (!best || key.epoch > *best) best = key.epoch;
@@ -155,13 +281,38 @@ uint64_t CheckpointStore::content_hash() const {
 }
 
 size_t CheckpointStore::gc(const std::string& app, uint64_t keep_epoch) {
-  std::lock_guard<std::mutex> lock(mu_);
-  std::erase_if(metas_, [&](const auto& entry) {
-    return entry.first.app == app && entry.first.epoch < keep_epoch;
-  });
-  return std::erase_if(images_, [&](const auto& entry) {
-    return entry.first.app == app && entry.first.epoch < keep_epoch;
-  });
+  size_t removed = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::erase_if(metas_, [&](const auto& entry) {
+      return entry.first.app == app && entry.first.epoch < keep_epoch;
+    });
+    removed = std::erase_if(images_, [&](const auto& entry) {
+      return entry.first.app == app && entry.first.epoch < keep_epoch;
+    });
+    // Fold completed epoch timings below the line into the aggregate and
+    // drop their per-epoch entries; a begin below the line with no commit
+    // was aborted and can never complete, so it is dropped too. Without
+    // this the instrumentation maps grow forever across long chaos runs.
+    for (auto it = commit_times_.begin(); it != commit_times_.end();) {
+      if (it->first.first != app || it->first.second >= keep_epoch) {
+        ++it;
+        continue;
+      }
+      if (auto b = begin_times_.find(it->first); b != begin_times_.end()) {
+        EpochStats& agg = duration_agg_[app];
+        ++agg.epochs;
+        agg.total += it->second - b->second;
+        begin_times_.erase(b);
+      }
+      it = commit_times_.erase(it);
+    }
+    std::erase_if(begin_times_, [&](const auto& entry) {
+      return entry.first.first == app && entry.first.second < keep_epoch;
+    });
+  }
+  if (replica_) removed += replica_->gc(app, keep_epoch);
+  return removed;
 }
 
 }  // namespace starfish::ckpt

@@ -17,12 +17,40 @@ unsigned shards_from_env(unsigned from_options) {
   const long n = std::strtol(env, nullptr, 10);
   return n > 1 ? static_cast<unsigned>(n) : from_options;
 }
+
+/// STARFISH_CKPT_BACKEND=replica routes checkpoints through the in-memory
+/// replication tier (ckpt/replica.hpp) for every cluster whose options did
+/// not pin a backend explicitly; STARFISH_CKPT_REPLICAS=N adjusts the
+/// replication factor the same way. CI uses these to drive the chaos suite
+/// through the diskless recovery path without editing each test.
+ckpt::CkptBackend backend_from_env(const std::optional<ckpt::CkptBackend>& from_options) {
+  if (from_options) return *from_options;
+  const char* env = std::getenv("STARFISH_CKPT_BACKEND");
+  if (env != nullptr && std::string(env) == "replica") return ckpt::CkptBackend::kReplica;
+  return ckpt::CkptBackend::kDisk;
+}
+
+uint32_t replication_from_env(const std::optional<ckpt::CkptBackend>& from_options,
+                              uint32_t replication) {
+  if (from_options) return replication;
+  const char* env = std::getenv("STARFISH_CKPT_REPLICAS");
+  if (env == nullptr) return replication;
+  const long n = std::strtol(env, nullptr, 10);
+  return n >= 1 ? static_cast<uint32_t>(n) : replication;
+}
 }  // namespace
 
 Cluster::Cluster(ClusterOptions options)
     : options_(std::move(options)), engine_(options_.seed), network_(engine_), store_(engine_) {
   // Before any host registers its node.
   engine_.set_shards(shards_from_env(options_.shards));
+  if (backend_from_env(options_.ckpt_backend) == ckpt::CkptBackend::kReplica) {
+    ckpt::ReplicaOptions ropts;
+    ropts.replication = replication_from_env(options_.ckpt_backend, options_.ckpt_replication);
+    ropts.transport = options_.process.data_transport;
+    store_.enable_replica_backend(network_, ropts);
+    store_.set_backend(ckpt::CkptBackend::kReplica);
+  }
   launcher_ = std::make_unique<Launcher>(network_, store_, registry_, options_.process);
   for (size_t i = 0; i < options_.nodes; ++i) {
     const sim::Machine& machine =

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,14 @@ struct ClusterOptions {
   /// value yields the bit-identical simulation; >1 runs hosts on that many
   /// threads under conservative time windows (DESIGN.md section 13).
   unsigned shards = 1;
+  /// Checkpoint storage backend (DESIGN.md section 14). Unset: disk, unless
+  /// STARFISH_CKPT_BACKEND=replica is exported — the CI lever that drives
+  /// whole suites through the diskless path. Set explicitly to pin a
+  /// backend regardless of environment.
+  std::optional<ckpt::CkptBackend> ckpt_backend;
+  /// Copies per checkpoint image under the replica backend (overridable by
+  /// STARFISH_CKPT_REPLICAS when ckpt_backend was not set explicitly).
+  uint32_t ckpt_replication = 2;
 };
 
 class Cluster {

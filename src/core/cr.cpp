@@ -397,9 +397,20 @@ void CrModule::store_image(uint64_t epoch, util::Bytes app_state, util::Bytes ch
                         : (portable ? ckpt::kPortableBaseBytes : ckpt::kNativeBaseBytes)) +
                    img.payload.size();
 
-  process_.store().put(process_.host(),
-                       ckpt::CkptKey{process_.job().name, process_.rank(), epoch},
-                       std::move(img));
+  const ckpt::CkptKey key{process_.job().name, process_.rank(), epoch};
+  if (process_.store().backend() == ckpt::CkptBackend::kReplica &&
+      process_.store().replicas() != nullptr) {
+    // Diskless path: place copies on the peers that follow this rank's
+    // host in the placement ring. Computed from this process's own world
+    // view, so every shard interleaving derives the same holder set.
+    std::vector<sim::HostId> hosts = process_.rank_hosts();
+    if (hosts.empty()) hosts = std::vector<sim::HostId>{process_.host().id()};
+    const auto holders = ckpt::replica_holders(
+        hosts, process_.rank(), process_.store().replicas()->options().replication);
+    process_.store().put(process_.host(), key, std::move(img), holders);
+  } else {
+    process_.store().put(process_.host(), key, std::move(img));
+  }
   ++checkpoints_taken_;
   if (obs::Hub* hub = process_.engine().obs()) {
     hub->metrics.counter("ckpt.checkpoints_taken").add(1);

@@ -51,6 +51,15 @@ class ApplicationProcess : public daemon::ProcessHandle {
   mpi::Proc& proc() { return *proc_; }
   mpi::Comm& world() { return *world_; }
   ckpt::CheckpointStore& store() { return store_; }
+  /// Each world rank's current host, from this process's own configured
+  /// wiring (empty before the first kConfigure). Deterministic input to
+  /// the replica-placement function regardless of shard interleaving.
+  std::vector<sim::HostId> rank_hosts() const {
+    std::vector<sim::HostId> out;
+    if (!configured_) return out;
+    for (const net::NetAddr& peer : proc_->peers()) out.push_back(peer.host);
+    return out;
+  }
   sim::Host& host() { return host_; }
   sim::Engine& engine() { return net_.engine(); }
   ObjectBus& bus() { return bus_; }

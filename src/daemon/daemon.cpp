@@ -317,6 +317,9 @@ void Daemon::on_heavy_message(gcs::MemberId origin, const util::Bytes& payload) 
         if (member != self || state.done_ranks.contains(rank)) continue;
         launch_rank(state, rank, msg.epoch);
       }
+      // The moved rank's replica holders are derived from its host; the
+      // migration changed that, so re-replicate toward the new ring.
+      rebalance_replicas(state);
       if (state.phase == AppPhase::kRunning) state.phase = AppPhase::kPlacing;
       return;
     }
@@ -727,12 +730,41 @@ std::map<uint32_t, uint64_t> Daemon::compute_restore_epochs(const AppState& stat
     }
     return out;
   }
-  // Coordinated protocols: the committed epoch is the recovery line.
-  auto committed = store_.latest_committed(app);
+  // Coordinated protocols: the committed epoch is the recovery line — but
+  // only if it can still be read back. Under the disk backend that is
+  // always latest_committed; under the replica backend host crashes may
+  // have destroyed copies, so the line drops to the newest epoch whose
+  // chains survive in some tier, or to a from-scratch restart (kNoRestore)
+  // when nothing does — never a deadlock on unreadable images.
+  auto committed = store_.latest_recoverable(app, state.job.nprocs);
   for (uint32_t rank = 0; rank < state.job.nprocs; ++rank) {
     out[rank] = committed.value_or(kNoRestore);
   }
   return out;
+}
+
+void Daemon::rebalance_replicas(AppState& state) {
+  if (store_.backend() != ckpt::CkptBackend::kReplica || store_.replicas() == nullptr) {
+    return;
+  }
+  // The new placement's rank -> host map, identical at every daemon (the
+  // placement itself is the deterministically agreed state).
+  std::vector<sim::HostId> hosts(state.job.nprocs, sim::kInvalidHost);
+  for (const auto& [rank, member] : state.placement) {
+    if (rank < hosts.size()) hosts[rank] = member.host;
+  }
+  const gcs::MemberId self = group_->self();
+  const uint32_t replication = store_.replicas()->options().replication;
+  for (const auto& [rank, member] : state.placement) {
+    if (member != self || state.done_ranks.contains(rank)) continue;
+    auto holders = ckpt::replica_holders(hosts, rank, replication);
+    // Background fiber: re-replication rides the network alongside the
+    // restart and must not delay relaunch (recovery reads existing copies).
+    host_.spawn("replica-rebalance",
+                [this, app = state.job.name, rank, holders = std::move(holders)] {
+                  store_.replicas()->rebalance(host_, app, rank, holders);
+                });
+  }
 }
 
 void Daemon::retire_locals(AppState& state) {
@@ -774,6 +806,11 @@ void Daemon::restart_app(AppState& state) {
   }
   state.dead_ranks.clear();
 
+  // A checkpoint wave in flight at the crash is aborted by the restart;
+  // drop its begin timestamps so a re-initiated epoch records fresh ones
+  // (epoch_duration must not span the crash).
+  store_.note_abort(state.job.name);
+
   const auto restore = compute_restore_epochs(state);
 
   // Kill every local process and relaunch my slice of the new placement
@@ -785,6 +822,9 @@ void Daemon::restart_app(AppState& state) {
     auto it = restore.find(rank);
     launch_rank(state, rank, it == restore.end() ? kNoRestore : it->second);
   }
+  // Surviving copies of ranks moving to new hosts must regain full
+  // replication under the new placement (view-change re-balance).
+  rebalance_replicas(state);
   state.phase = AppPhase::kPlacing;
 }
 

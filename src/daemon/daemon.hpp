@@ -148,6 +148,10 @@ class Daemon {
   // Failure machinery.
   void failure_event(const std::string& app, const std::set<uint32_t>& newly_dead);
   void restart_app(AppState& state);
+  /// Replica backend only: after a placement change, re-replicate my local
+  /// ranks' surviving checkpoint chains toward the holder sets the new
+  /// placement implies (background fibers; replica.hpp rebalance).
+  void rebalance_replicas(AppState& state);
   /// Terminates every local process of `state` and parks the handles.
   void retire_locals(AppState& state);
   std::map<uint32_t, uint64_t> compute_restore_epochs(const AppState& state) const;

@@ -91,6 +91,10 @@ class Proc {
 
   uint32_t rank() const { return rank_; }
   uint32_t size() const { return static_cast<uint32_t>(peers_.size()); }
+  /// Every rank's VNI address as last configured (this process's own
+  /// deterministic view of the world — replica placement derives rank ->
+  /// host from it).
+  const std::vector<net::NetAddr>& peers() const { return peers_; }
   net::NetAddr addr() const { return vni_.addr(); }
   net::Vni& vni() { return vni_; }
 

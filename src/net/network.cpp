@@ -362,6 +362,15 @@ void Network::crash_host(sim::HostId id) {
       }
     }
   }
+
+  // Fate-sharing state elsewhere (e.g. the replica checkpoint tier) learns
+  // of the crash last, after the fabric state is consistent. Still inside
+  // the serial phase: hooks may mutate cluster-wide shared state.
+  for (const auto& hook : crash_hooks_) hook(id);
+}
+
+void Network::add_crash_hook(std::function<void(sim::HostId)> hook) {
+  crash_hooks_.push_back(std::move(hook));
 }
 
 }  // namespace starfish::net

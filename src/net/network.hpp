@@ -22,6 +22,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -167,6 +168,12 @@ class Network {
   /// Control-plane operation: serial phases only.
   void crash_host(sim::HostId id);
 
+  /// Registers a callback run at the end of every crash_host (serial
+  /// phase), after the fabric state is consistent. Lets fate-sharing state
+  /// outside the fabric — e.g. in-memory checkpoint replicas — invalidate
+  /// what the dead host held. Hooks must outlive the network's last crash.
+  void add_crash_hook(std::function<void(sim::HostId)> hook);
+
   /// Message-level fault injection (loss, delay, duplication, partitions);
   /// consulted on every transmit/connect once configured. Fault-free by
   /// default, in which case every path is byte-identical to a fabric
@@ -235,6 +242,7 @@ class Network {
 
   sim::Engine& engine_;
   FaultInjector faults_{engine_};
+  std::vector<std::function<void(sim::HostId)>> crash_hooks_;
   std::vector<sim::HostPtr> hosts_;
   /// unique_ptr for address stability: add_host (serial) may grow the
   /// vector while shards hold references across windows.
