@@ -1,0 +1,174 @@
+// Ablation: GCS dissemination topology vs membership size (PR 8).
+//
+// The flat Ensemble-style group has two O(n) walls: the sequencer sends
+// every ORDER to all n members, and every member heartbeats every other
+// member (O(n^2) datagrams per period group-wide). The k-ary dissemination
+// tree (gcs/endpoint.cpp, DESIGN.md section 15) caps the sequencer at O(k)
+// sends per multicast and aggregates heartbeats at interior nodes. This
+// sweep measures, at n = 16 / 64 / 256 members for both topologies:
+//   * sequencer ORDER sends per multicast (the headline O(n) -> O(k)),
+//   * wire datagrams per heartbeat period group-wide,
+//   * an all-members marker barrier (every member multicasts, everyone
+//     delivers all n markers — the GCS cost floor under a coordinated
+//     checkpoint's barrier),
+//   * view-change latency after an interior-node crash (crash -> every
+//     survivor installs the shrunken view).
+// All latencies are virtual-time; wire counts are exact. The simulator
+// charges no per-message CPU, so latency stays near-flat while the message
+// counts expose the real scaling difference (EXPERIMENTS.md).
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "gcs/endpoint.hpp"
+#include "net/network.hpp"
+#include "obs/obs.hpp"
+#include "sim/engine.hpp"
+
+using namespace starfish;
+
+namespace {
+
+util::Bytes marker_bytes() {
+  util::Bytes b;
+  b.push_back(std::byte{0x5a});
+  return b;
+}
+
+struct ScaleResult {
+  double seq_sends_per_mcast = 0;
+  double hb_packets_per_period = 0;
+  double barrier_ms = 0;
+  double view_change_ms = 0;
+  uint64_t sim_ns = 0;
+  uint64_t events = 0;
+  uint64_t host_ns = 0;
+};
+
+uint64_t counter_value(const obs::Hub& hub, const char* name) {
+  const obs::Counter* c = hub.metrics.find_counter(name);
+  return c != nullptr ? c->value() : 0;
+}
+
+ScaleResult run_scale(size_t n, gcs::Topology topo) {
+  benchutil::HostTimer timer;
+  obs::Hub hub;
+  sim::Engine eng(/*seed=*/1);
+  eng.set_obs(&hub);
+  net::Network net(eng);
+  gcs::GroupConfig config;
+  config.topology = topo;
+
+  std::vector<uint64_t> delivered(n, 0);
+  std::vector<uint64_t> view_id(n, 0);
+  std::vector<std::unique_ptr<gcs::GroupEndpoint>> eps;
+  std::vector<net::NetAddr> founders;
+  for (size_t i = 0; i < n; ++i) {
+    auto host = net.add_host("node" + std::to_string(i));
+    founders.push_back({host->id(), config.control_port});
+  }
+  for (size_t i = 0; i < n; ++i) {
+    gcs::Callbacks cbs;
+    cbs.on_view = [&view_id, i](const gcs::View& v) { view_id[i] = v.view_id; };
+    cbs.on_message = [&delivered, i](gcs::MemberId, const util::Bytes&) { ++delivered[i]; };
+    eps.push_back(std::make_unique<gcs::GroupEndpoint>(
+        net, *net.host(static_cast<sim::HostId>(i)), config, std::move(cbs)));
+  }
+  for (auto& ep : eps) ep->start_founding(founders);
+  eng.run_for(sim::seconds(1));  // settle: founding view + steady heartbeats
+
+  ScaleResult r;
+
+  // Idle heartbeat window: 1 s of virtual time, no application traffic.
+  const double periods = static_cast<double>(sim::seconds(1)) /
+                         static_cast<double>(config.heartbeat_period);
+  uint64_t pkts0 = net.packets_sent();
+  eng.run_for(sim::seconds(1));
+  r.hb_packets_per_period = static_cast<double>(net.packets_sent() - pkts0) / periods;
+
+  // Sequencer cost: 32 multicasts from a mid-tree member (ORDER_REQ up,
+  // ORDER fan-out/relay down).
+  constexpr int kMulticasts = 32;
+  const uint64_t seq0 = counter_value(hub, "gcs.seq.order_sends");
+  const size_t sender = n / 2;
+  net.host(static_cast<sim::HostId>(sender))->spawn("bench-sender", [&, sender] {
+    for (int k = 0; k < kMulticasts; ++k) {
+      eps[sender]->multicast(marker_bytes());
+      eng.sleep(sim::milliseconds(5));
+    }
+  });
+  eng.run_for(sim::milliseconds(kMulticasts * 5 + 200));
+  r.seq_sends_per_mcast =
+      static_cast<double>(counter_value(hub, "gcs.seq.order_sends") - seq0) / kMulticasts;
+
+  // Marker barrier: every member multicasts once; done when every member
+  // has delivered all n markers.
+  std::vector<uint64_t> target(n);
+  for (size_t i = 0; i < n; ++i) target[i] = delivered[i] + n;
+  const sim::Time barrier_start = eng.now();
+  for (size_t i = 0; i < n; ++i) {
+    net.host(static_cast<sim::HostId>(i))->spawn("barrier", [&eps, i] {
+      eps[i]->multicast(marker_bytes());
+    });
+  }
+  for (int guard = 0; guard < 4000; ++guard) {
+    bool done = true;
+    for (size_t i = 0; i < n && done; ++i) done = delivered[i] >= target[i];
+    if (done) break;
+    eng.run_for(sim::milliseconds(1));
+  }
+  r.barrier_ms = static_cast<double>(eng.now() - barrier_start) / 1e6;
+
+  // View change: crash an interior node (host 1 relays to its subtree under
+  // kTree) and wait for every survivor to install the shrunken view.
+  const uint64_t v0 = view_id[0];
+  const sim::Time crash_start = eng.now();
+  net.crash_host(1);
+  for (int guard = 0; guard < 8000; ++guard) {
+    bool done = true;
+    for (size_t i = 0; i < n && done; ++i) {
+      if (i == 1) continue;
+      done = view_id[i] > v0;
+    }
+    if (done) break;
+    eng.run_for(sim::milliseconds(1));
+  }
+  r.view_change_ms = static_cast<double>(eng.now() - crash_start) / 1e6;
+
+  r.sim_ns = static_cast<uint64_t>(eng.now());
+  r.events = eng.events_executed();
+  r.host_ns = timer.ns();
+  return r;
+}
+
+const char* topo_name(gcs::Topology t) { return t == gcs::Topology::kTree ? "tree" : "flat"; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchutil::JsonReporter json(argc, argv);
+  benchutil::MetricsReporter metrics(argc, argv);
+
+  std::printf("GCS dissemination scaling: flat vs tree (k=4)\n");
+  std::printf("%8s %6s %16s %16s %12s %14s\n", "topo", "n", "seq_sends/mcast",
+              "hb_pkts/period", "barrier_ms", "view_chg_ms");
+  for (size_t n : {16u, 64u, 256u}) {
+    for (gcs::Topology topo : {gcs::Topology::kFlat, gcs::Topology::kTree}) {
+      const ScaleResult r = run_scale(n, topo);
+      std::printf("%8s %6zu %16.1f %16.1f %12.3f %14.3f\n", topo_name(topo), n,
+                  r.seq_sends_per_mcast, r.hb_packets_per_period, r.barrier_ms,
+                  r.view_change_ms);
+      const std::string base =
+          "gcs_scale/topo=" + std::string(topo_name(topo)) + "/n=" + std::to_string(n);
+      json.add({base + "/seq_sends_per_mcast", r.host_ns, r.sim_ns, r.events,
+                r.seq_sends_per_mcast, 0});
+      json.add({base + "/hb_packets_per_period", 0, r.sim_ns, 0, r.hb_packets_per_period, 0});
+      json.add({base + "/barrier_ms", 0, r.sim_ns, 0, r.barrier_ms, 0});
+      json.add({base + "/view_change_ms", 0, r.sim_ns, 0, r.view_change_ms, 0});
+    }
+  }
+  if (!json.write("ablation_gcs_scale")) return 1;
+  return metrics.write() ? 0 : 1;
+}

@@ -54,6 +54,13 @@ ctest --output-on-failure -j "$@"
 # in-memory replication tier, sanitizing the put/get/crash-invalidation
 # and commit-after-transfer paths under injected faults.
 STARFISH_CKPT_BACKEND=replica ctest --output-on-failure -R 'Chaos|Replica' -j "$@"
+# Group + chaos tiers again under the tree dissemination topology: the env
+# routes every group whose config did not pin a topology through the k-ary
+# tree path (ORDER relay, aggregated heartbeats, fragmentation fallback),
+# sanitizing it under injected faults. The flat/tree differential suite
+# rides along to pin stream equivalence in the instrumented tree.
+[ "$(ctest -N | grep -c "GcsDifferential")" -gt 0 ] || { echo "gcs differential tests missing from ctest registration" >&2; exit 1; }
+STARFISH_GCS_TOPOLOGY=tree ctest --output-on-failure -R 'Chaos|Group|GcsDifferential' -j "$@"
 
 # Perf smoke rides along on the non-sanitized Release tree: warn-only
 # comparison of the engine hot-path benches vs scripts/perf_baseline.json.

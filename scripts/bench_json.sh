@@ -8,17 +8,20 @@
 #   - the scaling_nodes thread-scaling sweep (aggregate events/sec at
 #     1/2/4 worker shards over the same 64-host workload), and
 #   - the ablation_recovery diskless sweep (disk vs in-memory replicated
-#     checkpoints: restore I/O per backend at 1..R holder crashes).
+#     checkpoints: restore I/O per backend at 1..R holder crashes), and
+#   - the ablation_gcs_scale membership sweep (flat vs tree dissemination:
+#     sequencer sends per multicast, heartbeat datagrams per period,
+#     marker-barrier and view-change latency at 16/64/256 members).
 # The figures' human-readable stdout is unchanged and discarded here.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT_NAME="${1:-BENCH_PR7.json}"
+OUT_NAME="${1:-BENCH_PR8.json}"
 BUILD=build-bench
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" -j --target \
   micro_benchmarks fig3_native_checkpoint fig4_vm_checkpoint fig5_roundtrip \
-  scaling_nodes ablation_recovery >/dev/null
+  scaling_nodes ablation_recovery ablation_gcs_scale >/dev/null
 
 out=$(mktemp -d)
 trap 'rm -rf "$out"' EXIT
@@ -29,6 +32,7 @@ trap 'rm -rf "$out"' EXIT
 "$BUILD"/bench/fig5_roundtrip --json "$out/fig5.json" >/dev/null
 "$BUILD"/bench/scaling_nodes --threads 1,2,4 --json "$out/scaling.json" >/dev/null
 "$BUILD"/bench/ablation_recovery --json "$out/recovery.json" >/dev/null
+"$BUILD"/bench/ablation_gcs_scale --json "$out/gcs_scale.json" >/dev/null
 
 python3 - "$out" "$OUT_NAME" <<'EOF'
 import json, os, sys
@@ -38,7 +42,7 @@ merged = {
     "schema": "starfish-bench-v1",
     "figures": [json.load(open(os.path.join(d, f)))
                 for f in ("fig3.json", "fig4.json", "fig5.json", "scaling.json",
-                          "recovery.json")],
+                          "recovery.json", "gcs_scale.json")],
     "micro": json.load(open(os.path.join(d, "micro.json"))),
 }
 with open(sys.argv[2], "w") as f:

@@ -34,12 +34,21 @@ echo "== TSan pass 1: full suite (multi-shard tests self-configured) =="
 ctest --output-on-failure -j "$@"
 
 echo "== TSan pass 2: sim/chaos tiers at STARFISH_SHARDS=4 =="
-STARFISH_SHARDS=4 ctest --output-on-failure -j \
-  -R 'Chaos|Scenario|Resilience|Obs|Shard|Core|Property' "$@"
+# (-R before -j: ctest's -j greedily consumes the following argument, which
+# would silently disable the filter and run the whole suite.)
+STARFISH_SHARDS=4 ctest --output-on-failure \
+  -R 'Chaos|Scenario|Resilience|Obs|Shard|Core|Property' -j "$@"
 
 echo "== TSan pass 3: chaos/replica tiers, diskless backend, 4 shards =="
 # The replica store is cluster-wide shared state reached from every worker
 # shard; this pass races its put/get/rebalance/crash-invalidation paths on
 # four threads with faults injected.
-STARFISH_SHARDS=4 STARFISH_CKPT_BACKEND=replica ctest --output-on-failure -j \
-  -R 'Chaos|Replica' "$@"
+STARFISH_SHARDS=4 STARFISH_CKPT_BACKEND=replica ctest --output-on-failure \
+  -R 'Chaos|Replica' -j "$@"
+
+echo "== TSan pass 4: group/chaos tiers, tree dissemination topology, 4 shards =="
+# Tree mode adds per-endpoint relay and gossip state touched from the
+# endpoint's host shard; this pass races the rebuilt-tree paths (forwarding,
+# heartbeat aggregation, fragmentation fallback) across worker threads.
+STARFISH_SHARDS=4 STARFISH_GCS_TOPOLOGY=tree ctest --output-on-failure \
+  -R 'Chaos|Group|GcsDifferential' -j "$@"

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
+#include <limits>
+#include <string_view>
 
 #include "util/log.hpp"
 
@@ -9,6 +12,28 @@ namespace starfish::gcs {
 
 namespace {
 constexpr const char* kLog = "gcs";
+
+/// STARFISH_GCS_TOPOLOGY=flat|tree picks the dissemination topology for
+/// every endpoint whose config did not pin one explicitly. Topology never
+/// changes the delivered stream (tests/gcs_differential_test.cpp), so CI
+/// tiers use this to drive the whole suite down the tree path without
+/// editing each test.
+Topology topology_from_env(const std::optional<Topology>& from_config) {
+  if (from_config) return *from_config;
+  const char* env = std::getenv("STARFISH_GCS_TOPOLOGY");
+  if (env != nullptr && std::string_view(env) == "tree") return Topology::kTree;
+  return Topology::kFlat;
+}
+
+/// STARFISH_GCS_FANOUT=k overrides the tree fan-out when the config keeps
+/// the default.
+uint32_t fanout_from_env(uint32_t from_config) {
+  if (from_config != GroupConfig{}.tree_fanout) return from_config;
+  const char* env = std::getenv("STARFISH_GCS_FANOUT");
+  if (env == nullptr) return from_config;
+  const long k = std::strtol(env, nullptr, 10);
+  return k >= 2 ? static_cast<uint32_t>(k) : from_config;
+}
 
 std::pair<uint64_t, uint32_t> marker(uint64_t view_id, uint32_t attempt) {
   return {view_id, attempt};
@@ -45,7 +70,11 @@ GroupEndpoint::GroupEndpoint(net::Network& net, sim::Host& host, GroupConfig con
       config_(config),
       callbacks_(std::move(callbacks)),
       self_{host.id(), host.incarnation()},
-      endpoint_(net.bind(host.id(), config.control_port, config.transport)) {}
+      topology_(topology_from_env(config.topology)),
+      fanout_(fanout_from_env(config.tree_fanout)),
+      endpoint_(net.bind(host.id(), config.control_port, config.transport)) {
+  obs_refresh();
+}
 
 GroupEndpoint::~GroupEndpoint() { shutdown(); }
 
@@ -53,6 +82,15 @@ void GroupEndpoint::shutdown() {
   if (shut_down_) return;
   shut_down_ = true;
   endpoint_->close();
+  // close() only *schedules* the parked rx fiber; it resumes at a later
+  // engine step, by which time this object may already be destroyed (a
+  // graceful teardown-and-rebind does exactly that). Kill both fibers so
+  // they unwind via FiberKilled at their blocking points instead of
+  // re-entering loops that read freed members. The rx fiber's spawn
+  // lambda pins the datagram endpoint, so its wait-list self-removal on
+  // the unwind path touches a live channel even after we are gone.
+  if (rx_fiber_) net_.engine().kill(rx_fiber_);
+  if (tick_fiber_) net_.engine().kill(tick_fiber_);
 }
 
 void GroupEndpoint::start_founding(const std::vector<net::NetAddr>& founders) {
@@ -79,8 +117,12 @@ void GroupEndpoint::start_founding(const std::vector<net::NetAddr>& founders) {
   const sim::Time now = net_.engine().now();
   for (const auto& m : view_.members) last_heard_[m.id] = now;
   views_installed_ = 1;
+  rebuild_tree();
 
-  rx_fiber_ = host_.spawn("gcs-rx", [this] {
+  // `ep` pins the channel the fiber parks on: a shutdown-then-destroy from
+  // the serial phase must leave the wait-list alive until the killed fiber
+  // resumes and removes its own entry (see shutdown()).
+  rx_fiber_ = host_.spawn("gcs-rx", [this, ep = endpoint_] {
     if (callbacks_.on_view) callbacks_.on_view(view_);
     rx_loop();
   });
@@ -89,7 +131,7 @@ void GroupEndpoint::start_founding(const std::vector<net::NetAddr>& founders) {
 
 void GroupEndpoint::start_joining(const std::vector<net::NetAddr>& seeds) {
   join_seeds_ = seeds;
-  rx_fiber_ = host_.spawn("gcs-rx", [this] { rx_loop(); });
+  rx_fiber_ = host_.spawn("gcs-rx", [this, ep = endpoint_] { rx_loop(); });
   tick_fiber_ = host_.spawn("gcs-tick", [this] { tick_loop(); });
 }
 
@@ -102,7 +144,10 @@ void GroupEndpoint::leave() {
     return;
   }
   WireMsg msg = base_msg(MsgKind::kLeaveReq);
+  msg.view_id = view_.view_id;  // lets the coordinator discard stale copies
   send_to_member(view_.coordinator(), msg);
+  // tick_loop() re-sends every beat until the view without us installs, so
+  // a LEAVE_REQ lost on the wire cannot wedge the departure forever.
 }
 
 void GroupEndpoint::multicast(util::Bytes payload) {
@@ -151,16 +196,31 @@ void GroupEndpoint::tick_loop() {
       continue;
     }
 
-    // Heartbeats to every other member, advertising our view and delivery
-    // progress so peers can garbage-collect stable messages (and so laggards
-    // notice a view they missed).
+    // Heartbeats advertising our view and delivery progress so peers can
+    // garbage-collect stable messages (and so laggards notice a view they
+    // missed). Flat: all-to-all. Tree: one aggregated summary up to the
+    // nearest live ancestor plus the full table down to each child, so the
+    // coordinator sees O(k) streams instead of O(n).
     WireMsg hb = base_msg(MsgKind::kHeartbeat);
     hb.view_id = view_.view_id;
     hb.delivered = delivered_gseq_;
-    for (const auto& m : view_.members) {
-      if (m.id != self_) send_to_member(m, hb);
+    if (topology_ == Topology::kTree && view_.size() > 1) {
+      send_tree_heartbeats(hb);
+    } else {
+      for (const auto& m : view_.members) {
+        if (m.id != self_) send_to_member(m, hb);
+      }
     }
     check_failures();
+
+    // A departure request outstanding across a whole beat means the
+    // LEAVE_REQ (or the resulting INSTALL) was lost; re-ask. The view tag
+    // makes duplicates harmless and stale copies discardable.
+    if (leaving_ && in_view_ && !is_coordinator() && phase_ == Phase::kNormal) {
+      WireMsg lv = base_msg(MsgKind::kLeaveReq);
+      lv.view_id = view_.view_id;
+      send_to_member(view_.coordinator(), lv);
+    }
 
     // A multicast outstanding for multiple beats means its ORDER_REQ was
     // lost on the way to the sequencer (the heartbeat gap repair covers the
@@ -200,12 +260,24 @@ void GroupEndpoint::tick_loop() {
 
 void GroupEndpoint::check_failures() {
   const sim::Time now = net_.engine().now();
+  const bool tree = topology_ == Topology::kTree;
+  // Tree mode: non-neighbors are only heard through gossip, which lags up
+  // to a beat per tree level; pad their timeout accordingly so a healthy
+  // member several hops away is not suspected on gossip latency alone.
+  // (Direct-neighbor crashes still trip the base timeout, and the neighbor's
+  // suspicion rumor reaches everyone at gossip speed, so detection latency
+  // stays near-flat.)
+  const sim::Duration gossip_slack =
+      tree ? (2 * tree_depth_ + 2) * config_.heartbeat_period : 0;
   bool new_suspicion = false;
   for (const auto& m : view_.members) {
     if (m.id == self_) continue;
     auto it = last_heard_.find(m.id);
     const sim::Time heard = it == last_heard_.end() ? 0 : it->second;
-    if (now - heard > config_.suspect_timeout && !suspects_.contains(m.id)) {
+    const sim::Duration timeout =
+        tree && !tree_neighbor(m.id) ? config_.suspect_timeout + gossip_slack
+                                     : config_.suspect_timeout;
+    if (now - heard > timeout && !suspects_.contains(m.id)) {
       suspects_.insert(m.id);
       new_suspicion = true;
       STARFISH_LOG(kInfo, kLog) << self_.to_string() << " suspects " << m.id.to_string();
@@ -278,7 +350,13 @@ void GroupEndpoint::initiate_change() {
     if (m.id == self_ || suspects_.contains(m.id)) continue;
     flush_waiting_.insert(m.id);
   }
-  flush_min_delivered_ = delivered_gseq_;
+  // Floor of the retransmission tail: the lowest delivered gseq any flush
+  // reports. Starts at "no report yet", NOT at our own delivered gseq — a
+  // change coordinator that is itself the laggard would otherwise pin the
+  // floor below every peer and re-ship messages all survivors already
+  // delivered on every back-to-back view change. finish_change_if_ready()
+  // clamps against our own (post-merge) delivered gseq.
+  flush_min_delivered_ = std::numeric_limits<uint64_t>::max();
 
   WireMsg prep = base_msg(MsgKind::kPrepare);
   prep.view_id = change_view_id_;
@@ -299,10 +377,17 @@ void GroupEndpoint::finish_change_if_ready() {
   // Everything any survivor delivered is now in our log (virtual synchrony).
   deliver_ready();
 
+  // Retransmit only above the view-wide stable point: the min delivered
+  // gseq any flush advertised, clamped by our own now that the merge is
+  // done (a 1-member flush has no reports; survivors never need messages
+  // below what every one of them reported delivered).
+  const uint64_t stable_floor = std::min(flush_min_delivered_, delivered_gseq_);
   std::vector<OrderedMsg> retransmit;
   for (const auto& [gseq, om] : delivered_) {
-    if (gseq > flush_min_delivered_) retransmit.push_back(om);
+    if (gseq > stable_floor) retransmit.push_back(om);
   }
+  obs_refresh();
+  if (obs_install_retransmit_ != nullptr) obs_install_retransmit_->add(retransmit.size());
 
   WireMsg inst = base_msg(MsgKind::kInstall);
   inst.view_id = change_view_id_;
@@ -375,23 +460,30 @@ void GroupEndpoint::resolve_incarnation(const WireMsg& msg) {
     // founding list assumes 0); the first message from the live endpoint
     // reveals the real one. Upgrade in place so failure detection, flushes
     // and sequencing address the member that actually exists.
-    const MemberId old = m.id;
-    m.id = msg.from;
-    remap_key(last_heard_, old, m.id);
-    remap_key(peer_delivered_, old, m.id);
-    remap_key(hb_prev_delivered_, old, m.id);
-    remap_key(last_delivered_msg_id_, old, m.id);
-    remap_key(last_sequenced_msg_id_, old, m.id);
-    if (suspects_.erase(old) > 0) suspects_.insert(m.id);
-    if (flush_waiting_.erase(old) > 0) flush_waiting_.insert(m.id);
-    if (change_coordinator_ == old) change_coordinator_ = m.id;
-    for (auto& pm : proposed_members_) {
-      if (pm.id == old) pm.id = m.id;
-    }
-    STARFISH_LOG(kInfo, kLog) << self_.to_string() << " resolved member " << old.to_string()
-                              << " -> " << m.id.to_string();
+    adopt_incarnation(m, msg.from);
     return;
   }
+}
+
+void GroupEndpoint::adopt_incarnation(Member& m, MemberId fresh) {
+  const MemberId old = m.id;
+  m.id = fresh;
+  remap_key(last_heard_, old, m.id);
+  remap_key(peer_delivered_, old, m.id);
+  remap_key(hb_prev_delivered_, old, m.id);
+  remap_key(last_delivered_msg_id_, old, m.id);
+  remap_key(last_sequenced_msg_id_, old, m.id);
+  if (suspects_.erase(old) > 0) suspects_.insert(m.id);
+  if (flush_waiting_.erase(old) > 0) flush_waiting_.insert(m.id);
+  if (change_coordinator_ == old) change_coordinator_ = m.id;
+  for (auto& pm : proposed_members_) {
+    if (pm.id == old) pm.id = m.id;
+  }
+  // The tree caches Member copies and the gossip table is keyed by id;
+  // rebuild both against the upgraded view.
+  rebuild_tree();
+  STARFISH_LOG(kInfo, kLog) << self_.to_string() << " resolved member " << old.to_string()
+                            << " -> " << m.id.to_string();
 }
 
 void GroupEndpoint::handle_heartbeat(const WireMsg& msg) {
@@ -413,10 +505,80 @@ void GroupEndpoint::handle_heartbeat(const WireMsg& msg) {
   }
   if (msg.view_id < view_.view_id) return;  // stale: old gseq space
   behind_since_ = 0;
-  // Stability garbage collection: a message every view member has delivered
-  // can never be requested during a flush, so drop it from the log.
+  obs_refresh();
+  // Stability bookkeeping: a message every view member has delivered can
+  // never be requested during a flush, so it is prunable from the log.
   peer_delivered_[msg.from] = std::max(peer_delivered_[msg.from], msg.delivered);
+
+  // Tree mode: the beat aggregates observations about members we never hear
+  // directly. Merge them (liveness, progress, suspicion rumors) and note
+  // which ones carry a genuinely new observation — only those feed the
+  // sequencer's stall repair, so gossip lag can't fake a repeated value.
+  std::vector<std::pair<MemberId, uint64_t>> fresh_gossip;
+  if (topology_ == Topology::kTree) {
+    merge_hb_entry(
+        HbEntry{msg.from, msg.view_id, msg.delivered, static_cast<uint64_t>(now), false});
+    bool rumor = false;
+    for (const auto& e : msg.hb_entries) {
+      if (e.member == self_) continue;
+      const bool fresh = merge_hb_entry(e);
+      if (e.view_id != view_.view_id) continue;
+      if (fresh) fresh_gossip.emplace_back(e.member, e.delivered);
+      if (e.suspected && view_.contains(e.member) && !suspects_.contains(e.member)) {
+        suspects_.insert(e.member);
+        rumor = true;
+        STARFISH_LOG(kInfo, kLog) << self_.to_string() << " adopts suspicion of "
+                                  << e.member.to_string() << " (rumor from "
+                                  << msg.from.to_string() << ")";
+      }
+    }
+    if (rumor) maybe_initiate_change();
+  }
+
   if (phase_ != Phase::kNormal) return;
+  gc_stable();
+
+  // Gap repair (sequencer side): a peer whose advertised delivered repeats
+  // while it was already behind us a full beat ago lost an ORDER; fault-free
+  // a fan-out always lands well inside one beat, so this can only fire when
+  // the wire actually dropped it. Resend the suffix it is missing. Tree
+  // mode runs the same detector over freshly gossiped observations, so the
+  // root repairs members it never hears directly (e.g. a subtree orphaned
+  // by an interior crash).
+  note_progress_and_repair(msg.from, msg.delivered);
+  for (const auto& [member, delivered] : fresh_gossip) {
+    if (member != msg.from) note_progress_and_repair(member, delivered);
+  }
+}
+
+void GroupEndpoint::note_progress_and_repair(MemberId from, uint64_t advertised) {
+  if (is_coordinator() && delivered_gseq_ > advertised) {
+    const auto prev = hb_prev_delivered_.find(from);
+    const bool stalled = prev != hb_prev_delivered_.end() &&
+                         prev->second.first == advertised && prev->second.second > advertised;
+    hb_prev_delivered_[from] = {advertised, delivered_gseq_};
+    const Member* m = member_by_id(from);
+    if (stalled && m != nullptr && m->id != self_) {
+      int resent = 0;
+      for (auto it = delivered_.upper_bound(advertised);
+           it != delivered_.end() && resent < kMaxGapRepair; ++it, ++resent) {
+        WireMsg order = base_msg(MsgKind::kOrder);
+        order.gseq = it->first;
+        order.origin = it->second.origin;
+        order.msg_id = it->second.msg_id;
+        order.payload = it->second.payload;
+        order.view_id = view_.view_id;
+        if (topology_ == Topology::kTree) order.delivered = delivered_gseq_;
+        send_to_member(*m, order);
+      }
+      if (resent > 0 && obs_repairs_ != nullptr) obs_repairs_->add(resent);
+    }
+  } else {
+    hb_prev_delivered_.erase(from);
+  }
+}
+
+void GroupEndpoint::gc_stable() {
   uint64_t stable = delivered_gseq_;
   for (const auto& m : view_.members) {
     if (m.id == self_) continue;
@@ -424,33 +586,46 @@ void GroupEndpoint::handle_heartbeat(const WireMsg& msg) {
     stable = std::min(stable, it == peer_delivered_.end() ? 0 : it->second);
   }
   if (stable > 0) delivered_.erase(delivered_.begin(), delivered_.lower_bound(stable));
+}
 
-  // Gap repair (sequencer side): a peer whose advertised delivered repeats
-  // while it was already behind us a full beat ago lost an ORDER; fault-free
-  // a fan-out always lands well inside one beat, so this can only fire when
-  // the wire actually dropped it. Resend the suffix it is missing.
-  if (is_coordinator() && delivered_gseq_ > msg.delivered) {
-    const auto prev = hb_prev_delivered_.find(msg.from);
-    const bool stalled = prev != hb_prev_delivered_.end() &&
-                         prev->second.first == msg.delivered &&
-                         prev->second.second > msg.delivered;
-    hb_prev_delivered_[msg.from] = {msg.delivered, delivered_gseq_};
-    const Member* m = member_by_id(msg.from);
-    if (stalled && m != nullptr) {
-      int resent = 0;
-      for (auto it = delivered_.upper_bound(msg.delivered);
-           it != delivered_.end() && resent < kMaxGapRepair; ++it, ++resent) {
-        WireMsg order = base_msg(MsgKind::kOrder);
-        order.gseq = it->first;
-        order.origin = it->second.origin;
-        order.msg_id = it->second.msg_id;
-        order.payload = it->second.payload;
-        send_to_member(*m, order);
+bool GroupEndpoint::merge_hb_entry(const HbEntry& e) {
+  auto it = hb_table_.find(e.member);
+  if (it == hb_table_.end()) {
+    // A gossiped row can reveal a live incarnation this member has never
+    // heard from directly: in tree mode non-neighbors exchange no datagrams,
+    // so a founder that rebooted before the group formed only ever reaches
+    // us through aggregated tables. Upgrade the view entry exactly as a
+    // direct message would (incarnations are monotone, so this is safe).
+    for (auto& m : view_.members) {
+      if (m.id.host == e.member.host && m.id.incarnation < e.member.incarnation) {
+        adopt_incarnation(m, e.member);
+        it = hb_table_.find(e.member);  // rebuild_tree() reseeded the table
+        break;
       }
     }
-  } else {
-    hb_prev_delivered_.erase(msg.from);
+    if (it == hb_table_.end()) return false;  // not a member of this view
   }
+  HbEntry& slot = it->second;
+  bool fresh = false;
+  if (e.heard_at > slot.heard_at) {
+    slot.view_id = e.view_id;
+    slot.delivered = e.delivered;
+    slot.heard_at = e.heard_at;
+    fresh = true;
+  }
+  // Suspicion is monotonic within a view, so the flag ORs in regardless of
+  // the observation's age (the rumor rides an entry whose heard_at froze
+  // the moment its neighbor stopped hearing it).
+  if (e.suspected && e.view_id == view_.view_id && !slot.suspected) {
+    slot.suspected = true;
+    fresh = true;
+  }
+  auto& heard = last_heard_[e.member];
+  heard = std::max(heard, static_cast<sim::Time>(e.heard_at));
+  if (e.view_id == view_.view_id) {
+    peer_delivered_[e.member] = std::max(peer_delivered_[e.member], e.delivered);
+  }
+  return fresh;
 }
 
 void GroupEndpoint::handle_join_req(const WireMsg& msg) {
@@ -465,6 +640,10 @@ void GroupEndpoint::handle_join_req(const WireMsg& msg) {
 void GroupEndpoint::handle_leave_req(const WireMsg& msg) {
   if (!in_view_ || !is_coordinator()) return;
   if (!view_.contains(msg.from)) return;
+  // A LEAVE_REQ from an earlier view is a stale duplicate (the member
+  // re-sends every beat until the departure installs); honoring it after
+  // the member rejoined would kick it out again.
+  if (msg.view_id != view_.view_id) return;
   leavers_.insert(msg.from);
   if (phase_ == Phase::kNormal) initiate_change();
 }
@@ -487,23 +666,57 @@ void GroupEndpoint::sequence_and_fanout(MemberId origin, uint64_t msg_id, util::
   order.gseq = ++next_gseq_;
   order.origin = origin;
   order.msg_id = msg_id;
+  order.view_id = view_.view_id;
   order.payload = std::move(payload);
   // Note: no blocking point inside this fan-out, so it is atomic with
   // respect to crashes of this coordinator — all live members receive it.
-  for (const auto& m : view_.members) send_to_member(m, order);
+  obs_refresh();
+  if (topology_ == Topology::kTree) {
+    // Down the tree: ourselves (the root delivers through the same receive
+    // path as everyone else) plus our direct children, who relay onward —
+    // O(k) wire messages at the sequencer instead of O(n).
+    order.delivered = delivered_gseq_;
+    send_to(endpoint_->addr(), order);
+    for (const auto& c : tree_children_) send_to_member(c, order);
+    if (obs_seq_sends_ != nullptr) obs_seq_sends_->add(1 + tree_children_.size());
+  } else {
+    for (const auto& m : view_.members) send_to_member(m, order);
+    if (obs_seq_sends_ != nullptr) obs_seq_sends_->add(view_.members.size());
+  }
+}
+
+void GroupEndpoint::forward_order(const WireMsg& msg) {
+  if (tree_children_.empty()) return;
+  WireMsg relay = msg;
+  relay.from = self_;
+  relay.from_addr = endpoint_->addr();
+  // Piggybacked ack: our delivered gseq rides every relayed ORDER, so
+  // stability advances along the tree without dedicated ack messages.
+  relay.delivered = delivered_gseq_;
+  for (const auto& c : tree_children_) send_to_member(c, relay);
+  if (obs_tree_forwards_ != nullptr) obs_tree_forwards_->add(tree_children_.size());
 }
 
 void GroupEndpoint::handle_order(const WireMsg& msg) {
   if (!in_view_ || phase_ != Phase::kNormal) return;
+  // gseq spaces restart per view: a stale ORDER from an earlier view (its
+  // sender crashed before installing, or the packet outlived the view) must
+  // not park in — let alone shadow — this view's holdback slots.
+  if (msg.view_id != view_.view_id) return;
   if (msg.gseq <= delivered_gseq_) return;  // duplicate
+  if (holdback_.contains(msg.gseq)) return;  // duplicate (flush vs. repair overlap)
+  obs_refresh();
+  if (topology_ == Topology::kTree && msg.from != self_) {
+    // Relay down the tree exactly once per gseq (the duplicate guards above
+    // dedupe coordinator flushes against peer repairs), and bank the
+    // sender's piggybacked delivered gseq for stability.
+    peer_delivered_[msg.from] = std::max(peer_delivered_[msg.from], msg.delivered);
+    forward_order(msg);
+  }
   OrderedMsg om{msg.gseq, msg.origin, msg.msg_id, msg.payload};
   holdback_[om.gseq] = std::move(om);
-  if (obs::Hub* hub = net_.engine().obs()) {
-    // Depth at its high-water point: just after queuing, before draining.
-    hub->metrics
-        .histogram("gcs.holdback_depth", obs::HistogramSpec::exponential(1, 2.0, 12))
-        .record(holdback_.size());
-  }
+  // Depth at its high-water point: just after queuing, before draining.
+  if (obs_holdback_depth_ != nullptr) obs_holdback_depth_->record(holdback_.size());
   deliver_ready();
 }
 
@@ -525,7 +738,8 @@ void GroupEndpoint::deliver(const OrderedMsg& msg) {
     while (!pending_.empty() && pending_.front().first <= msg.msg_id) pending_.pop_front();
   }
   ++messages_delivered_;
-  if (obs::Hub* hub = net_.engine().obs()) hub->metrics.counter("gcs.messages_delivered").add(1);
+  obs_refresh();
+  if (obs_delivered_ != nullptr) obs_delivered_->add(1);
   if (callbacks_.on_message) callbacks_.on_message(msg.origin, msg.payload);
 }
 
@@ -623,6 +837,20 @@ void GroupEndpoint::handle_install(const WireMsg& msg) {
     phase_ = Phase::kNormal;
     change_view_id_ = msg.view_id;
     change_attempt_ = msg.attempt;
+    // Drop the old view's per-peer bookkeeping: staleness timestamps,
+    // progress floors and suspicion state must not leak into a later
+    // re-admission (a rejoiner inheriting a stale last-heard entry would be
+    // suspected the moment it is back).
+    last_heard_.clear();
+    peer_delivered_.clear();
+    hb_prev_delivered_.clear();
+    suspects_.clear();
+    holdback_.clear();
+    flush_waiting_.clear();
+    tree_index_ = -1;
+    tree_children_.clear();
+    tree_subtree_.clear();
+    hb_table_.clear();
     if (!leaving_) {
       // We never asked to leave (our heartbeats must have been lost):
       // rejoin through the survivors instead of silently dropping off.
@@ -658,6 +886,13 @@ void GroupEndpoint::install_view(const View& v, const std::vector<OrderedMsg>&) 
       }
     }
   }
+  // Members joining in this view start their per-origin msg-id counters
+  // afresh: a member that left gracefully and later rejoined under the same
+  // incarnation numbers its multicasts from 1 again, and a stale high-water
+  // mark from its previous tenure would silently discard every one of them.
+  for (const auto& m : v.members) {
+    if (!view_.contains(m.id)) last_delivered_msg_id_.erase(m.id);
+  }
   view_ = v;
   in_view_ = true;
   delivered_gseq_ = 0;
@@ -675,6 +910,7 @@ void GroupEndpoint::install_view(const View& v, const std::vector<OrderedMsg>&) 
   behind_since_ = 0;
   const sim::Time now = net_.engine().now();
   for (const auto& m : view_.members) last_heard_[m.id] = now;
+  rebuild_tree();
   ++views_installed_;
   STARFISH_LOG(kInfo, kLog) << self_.to_string() << " installed " << view_.to_string();
   if (callbacks_.on_view) callbacks_.on_view(view_);
@@ -715,6 +951,153 @@ const Member* GroupEndpoint::member_by_id(MemberId id) const {
 
 bool GroupEndpoint::self_is_change_coordinator() const {
   return phase_ == Phase::kFlushing && change_coordinator_ == self_;
+}
+
+// ------------------------------------------------- dissemination tree ----
+
+uint32_t GroupEndpoint::node_depth(size_t index) const {
+  uint32_t d = 0;
+  for (size_t i = index; i > 0; i = (i - 1) / fanout_) ++d;
+  return d;
+}
+
+void GroupEndpoint::rebuild_tree() {
+  tree_index_ = view_.index_of(self_);
+  tree_depth_ = 0;
+  tree_children_.clear();
+  tree_subtree_.clear();
+  hb_table_.clear();
+  if (topology_ != Topology::kTree || tree_index_ < 0) return;
+  const size_t n = view_.members.size();
+  const size_t k = fanout_;
+  const size_t self_index = static_cast<size_t>(tree_index_);
+  tree_depth_ = node_depth(n - 1);
+  for (size_t c = k * self_index + 1; c <= k * self_index + k && c < n; ++c) {
+    tree_children_.push_back(view_.members[c]);
+  }
+  std::vector<size_t> stack{self_index};
+  while (!stack.empty()) {
+    const size_t i = stack.back();
+    stack.pop_back();
+    tree_subtree_.push_back(view_.members[i].id);
+    for (size_t c = k * i + 1; c <= k * i + k && c < n; ++c) stack.push_back(c);
+  }
+  const auto now = static_cast<uint64_t>(net_.engine().now());
+  for (const auto& m : view_.members) {
+    hb_table_[m.id] = HbEntry{m.id, view_.view_id, 0, now, false};
+  }
+}
+
+const Member* GroupEndpoint::tree_parent() const {
+  if (topology_ != Topology::kTree || tree_index_ <= 0) return nullptr;
+  return &view_.members[(static_cast<size_t>(tree_index_) - 1) / fanout_];
+}
+
+const Member* GroupEndpoint::up_target() const {
+  if (topology_ != Topology::kTree || tree_index_ <= 0) return nullptr;
+  size_t i = static_cast<size_t>(tree_index_);
+  while (i > 0) {
+    i = (i - 1) / fanout_;
+    const Member& m = view_.members[i];
+    // Skip over crashed interior ancestors so our subtree's summaries keep
+    // reaching the root while the view change is still in flight.
+    if (!suspects_.contains(m.id)) return &m;
+  }
+  return nullptr;
+}
+
+bool GroupEndpoint::tree_neighbor(MemberId id) const {
+  if (const Member* p = tree_parent(); p != nullptr && p->id == id) return true;
+  for (const auto& c : tree_children_) {
+    if (c.id == id) return true;
+  }
+  return false;
+}
+
+void GroupEndpoint::send_tree_heartbeats(const WireMsg& hb) {
+  const auto now = static_cast<uint64_t>(net_.engine().now());
+  // Refresh our own row; mark our direct suspicions so they gossip outward
+  // as rumors (the coordinator adopts them instead of waiting out its
+  // gossip-lag-padded timeout).
+  if (auto it = hb_table_.find(self_); it != hb_table_.end()) {
+    it->second.view_id = view_.view_id;
+    it->second.delivered = delivered_gseq_;
+    it->second.heard_at = now;
+  }
+  for (const MemberId& s : suspects_) {
+    if (auto it = hb_table_.find(s); it != hb_table_.end()) it->second.suspected = true;
+  }
+  obs_refresh();
+  // Fragmentation fallback: a suspect means the tree is broken somewhere —
+  // a dead interior node cuts its whole subtree off from the gossip flow,
+  // and a dead root cuts *everyone* off (its other children stop receiving
+  // any traffic at all and would falsely suspect the entire group in turn).
+  // Until the view change installs a repaired tree, beat every unsuspected
+  // member directly with the full table: connectivity degrades to flat for
+  // the bounded failure window instead of shattering into
+  // mutual-false-suspicion islands.
+  if (!suspects_.empty()) {
+    WireMsg m = hb;
+    m.hb_entries.reserve(hb_table_.size());
+    for (const auto& [id, e] : hb_table_) m.hb_entries.push_back(e);
+    uint64_t sent = 0;
+    for (const auto& mem : view_.members) {
+      if (mem.id == self_ || suspects_.contains(mem.id)) continue;
+      send_to_member(mem, m);
+      ++sent;
+    }
+    if (sent > 0 && obs_hb_down_ != nullptr) obs_hb_down_->add(sent);
+    return;
+  }
+  if (const Member* up = up_target()) {
+    WireMsg m = hb;
+    m.hb_entries.reserve(tree_subtree_.size());
+    for (const MemberId& id : tree_subtree_) {
+      if (auto it = hb_table_.find(id); it != hb_table_.end()) {
+        m.hb_entries.push_back(it->second);
+      }
+    }
+    send_to_member(*up, m);
+    if (obs_hb_up_ != nullptr) obs_hb_up_->add(1);
+  }
+  if (!tree_children_.empty()) {
+    WireMsg m = hb;
+    m.hb_entries.reserve(hb_table_.size());
+    for (const auto& [id, e] : hb_table_) m.hb_entries.push_back(e);
+    uint64_t sent = 0;
+    for (const auto& c : tree_children_) {
+      if (suspects_.contains(c.id)) continue;  // dead child: nothing to teach
+      send_to_member(c, m);
+      ++sent;
+    }
+    if (sent > 0 && obs_hb_down_ != nullptr) obs_hb_down_->add(sent);
+  }
+}
+
+void GroupEndpoint::obs_refresh() {
+  obs::Hub* hub = net_.engine().obs();
+  if (hub == obs_hub_) return;
+  obs_hub_ = hub;
+  if (hub == nullptr) {
+    obs_delivered_ = nullptr;
+    obs_holdback_depth_ = nullptr;
+    obs_seq_sends_ = nullptr;
+    obs_tree_forwards_ = nullptr;
+    obs_hb_up_ = nullptr;
+    obs_hb_down_ = nullptr;
+    obs_repairs_ = nullptr;
+    obs_install_retransmit_ = nullptr;
+    return;
+  }
+  obs_delivered_ = &hub->metrics.counter("gcs.messages_delivered");
+  obs_holdback_depth_ =
+      &hub->metrics.histogram("gcs.holdback_depth", obs::HistogramSpec::exponential(1, 2.0, 12));
+  obs_seq_sends_ = &hub->metrics.counter("gcs.seq.order_sends");
+  obs_tree_forwards_ = &hub->metrics.counter("gcs.tree.order_forwards");
+  obs_hb_up_ = &hub->metrics.counter("gcs.tree.hb_up_msgs");
+  obs_hb_down_ = &hub->metrics.counter("gcs.tree.hb_down_msgs");
+  obs_repairs_ = &hub->metrics.counter("gcs.seq.order_repairs");
+  obs_install_retransmit_ = &hub->metrics.counter("gcs.install_retransmit_msgs");
 }
 
 }  // namespace starfish::gcs

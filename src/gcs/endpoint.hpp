@@ -31,7 +31,12 @@
 #include "gcs/types.hpp"
 #include "gcs/wire.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
 #include "sim/host.hpp"
+
+namespace starfish::obs {
+struct Hub;
+}
 
 namespace starfish::gcs {
 
@@ -76,6 +81,11 @@ class GroupEndpoint {
   uint64_t views_installed() const { return views_installed_; }
   /// Size of the per-view retransmission log (bounded by stability GC).
   size_t retransmission_log_size() const { return delivered_.size(); }
+  /// Resolved dissemination topology (config or STARFISH_GCS_TOPOLOGY).
+  Topology topology() const { return topology_; }
+  /// Our depth in the dissemination tree of the current view (0 under kFlat
+  /// or at the root).
+  uint32_t tree_depth() const { return tree_index_ <= 0 ? 0 : node_depth(tree_index_); }
 
   /// Stops fibers and closes the control endpoint (used by tests; a host
   /// crash achieves the same through the fabric).
@@ -100,10 +110,25 @@ class GroupEndpoint {
   /// host/address when a message reveals the real one (founding views record
   /// peers as incarnation 0 until first contact).
   void resolve_incarnation(const WireMsg& msg);
+  void adopt_incarnation(Member& m, MemberId fresh);
 
   void deliver_ready();
   void deliver(const OrderedMsg& msg);
   void sequence_and_fanout(MemberId origin, uint64_t msg_id, util::Bytes payload);
+  /// Tree mode: relay a freshly received ORDER to our tree children.
+  void forward_order(const WireMsg& msg);
+  /// Updates peer progress bookkeeping and, on the sequencer, resends the
+  /// missing ORDER suffix to a member whose advertised delivered gseq is
+  /// stuck (the flat heartbeat repair path, shared with tree gossip).
+  void note_progress_and_repair(MemberId from, uint64_t advertised);
+  /// Prunes the retransmission log below the view-wide stable gseq.
+  void gc_stable();
+  /// Merges one gossiped liveness entry (tree mode); returns true when the
+  /// observation is fresher than what we already held.
+  bool merge_hb_entry(const HbEntry& e);
+  /// Tree mode: one up-summary to the nearest live ancestor plus the full
+  /// table down to each child, instead of n-1 point-to-point beats.
+  void send_tree_heartbeats(const WireMsg& hb);
   void check_failures();
   void maybe_initiate_change();
   void initiate_change();
@@ -116,11 +141,30 @@ class GroupEndpoint {
   const Member* member_by_id(MemberId id) const;
   bool self_is_change_coordinator() const;
 
+  // --- dissemination tree (Topology::kTree) over the rank-sorted view ---
+  // Array-heap layout: member index i has parent (i-1)/k and children
+  // k*i+1 .. k*i+k; index 0 is the coordinator/sequencer at the root.
+  void rebuild_tree();
+  uint32_t node_depth(size_t index) const;
+  /// Our parent in the tree, or nullptr at the root / under kFlat.
+  const Member* tree_parent() const;
+  /// Nearest unsuspected ancestor for up-heartbeats (skips over crashed
+  /// interior nodes so orphaned subtrees stay visible at the root).
+  const Member* up_target() const;
+  /// Parent or direct child — members we exchange direct beats with.
+  bool tree_neighbor(MemberId id) const;
+  /// Lazily (re-)resolves cached metric handles when the engine's hub
+  /// changes; one pointer compare on the hot path (net/vni.cpp idiom).
+  void obs_refresh();
+
   net::Network& net_;
   sim::Host& host_;
   GroupConfig config_;
   Callbacks callbacks_;
   MemberId self_;
+  /// Resolved once at construction (config override, else environment).
+  Topology topology_ = Topology::kFlat;
+  uint32_t fanout_ = 4;
   net::DatagramEndpointPtr endpoint_;
   sim::FiberPtr rx_fiber_;
   sim::FiberPtr tick_fiber_;
@@ -167,6 +211,16 @@ class GroupEndpoint {
   /// behind); after a beat of grace we ask a peer to resend the INSTALL.
   sim::Time behind_since_ = 0;
 
+  // Dissemination tree (rebuilt on every view install; empty under kFlat).
+  int tree_index_ = -1;                 ///< our index in the rank-sorted view
+  uint32_t tree_depth_ = 0;             ///< depth of the deepest tree node
+  std::vector<Member> tree_children_;   ///< our direct children
+  std::vector<MemberId> tree_subtree_;  ///< members at/below us (incl. self)
+  /// Aggregated liveness/progress table (tree mode): one slot per view
+  /// member, refreshed by direct beats and gossiped summaries. Up-beats
+  /// carry our subtree's rows, down-beats the whole table.
+  std::map<MemberId, HbEntry> hb_table_;
+
   // View change state.
   Phase phase_ = Phase::kNormal;
   uint64_t change_view_id_ = 0;
@@ -190,6 +244,19 @@ class GroupEndpoint {
   // Stats.
   uint64_t messages_delivered_ = 0;
   uint64_t views_installed_ = 0;
+
+  // Cached observability handles. Registry lookups take a lock (and the
+  // histogram one re-parses its bucket spec), so per-message paths resolve
+  // them once per hub and re-resolve only when the hub pointer changes.
+  obs::Hub* obs_hub_ = nullptr;
+  obs::Counter* obs_delivered_ = nullptr;
+  obs::Histogram* obs_holdback_depth_ = nullptr;
+  obs::Counter* obs_seq_sends_ = nullptr;
+  obs::Counter* obs_tree_forwards_ = nullptr;
+  obs::Counter* obs_hb_up_ = nullptr;
+  obs::Counter* obs_hb_down_ = nullptr;
+  obs::Counter* obs_repairs_ = nullptr;
+  obs::Counter* obs_install_retransmit_ = nullptr;
 };
 
 }  // namespace starfish::gcs

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -59,9 +60,31 @@ struct View {
   std::string to_string() const;
 };
 
+/// Dissemination topology for ordered multicast and heartbeats.
+///
+/// kFlat: the sequencer fans ORDER out to every member and each member
+/// heartbeats every other member — O(n) wire messages per multicast at the
+/// sequencer, O(n^2) heartbeats per period group-wide.
+/// kTree: ordered messages propagate down a deterministic k-ary tree over
+/// the rank-sorted view (rebuilt on every view change) and heartbeats
+/// aggregate at interior nodes, so the sequencer sends O(k) per multicast
+/// and the coordinator sees O(k) heartbeat summaries. Both topologies
+/// deliver byte-identical ordered streams (tests/gcs_differential_test.cpp).
+enum class Topology : uint8_t {
+  kFlat = 0,
+  kTree = 1,
+};
+
 struct GroupConfig {
   net::Port control_port = 1;  ///< every daemon's gcs endpoint binds this port
   net::TransportKind transport = net::TransportKind::kTcpIp;
+  /// Dissemination topology. nullopt: read STARFISH_GCS_TOPOLOGY=flat|tree
+  /// from the environment (the CI lever), defaulting to flat. Set explicitly
+  /// to pin a topology regardless of environment.
+  std::optional<Topology> topology;
+  /// Fan-out k of the dissemination tree (ignored under kFlat).
+  /// STARFISH_GCS_FANOUT overrides when the config keeps the default.
+  uint32_t tree_fanout = 4;
   sim::Duration heartbeat_period = sim::milliseconds(50);
   sim::Duration suspect_timeout = sim::milliseconds(250);
   /// How long a member in the flush phase waits for INSTALL before assuming

@@ -70,6 +70,34 @@ util::Result<OrderedMsg> get_ordered(util::Reader& r) {
   return m;
 }
 
+void put_hb_entry(util::Writer& w, const HbEntry& e) {
+  put_member_id(w, e.member);
+  w.u64(e.view_id);
+  w.u64(e.delivered);
+  w.u64(e.heard_at);
+  w.boolean(e.suspected);
+}
+
+util::Result<HbEntry> get_hb_entry(util::Reader& r) {
+  HbEntry e;
+  auto member = get_member_id(r);
+  if (!member) return member.error();
+  e.member = member.value();
+  auto view_id = r.u64();
+  if (!view_id) return view_id.error();
+  e.view_id = view_id.value();
+  auto delivered = r.u64();
+  if (!delivered) return delivered.error();
+  e.delivered = delivered.value();
+  auto heard_at = r.u64();
+  if (!heard_at) return heard_at.error();
+  e.heard_at = heard_at.value();
+  auto suspected = r.boolean();
+  if (!suspected) return suspected.error();
+  e.suspected = suspected.value();
+  return e;
+}
+
 }  // namespace
 
 util::Bytes WireMsg::encode() const {
@@ -90,6 +118,8 @@ util::Bytes WireMsg::encode() const {
   w.u64(delivered);
   w.u32(static_cast<uint32_t>(buffered.size()));
   for (const auto& m : buffered) put_ordered(w, m);
+  w.u32(static_cast<uint32_t>(hb_entries.size()));
+  for (const auto& e : hb_entries) put_hb_entry(w, e);
   w.u32(static_cast<uint32_t>(retransmit.size()));
   for (const auto& m : retransmit) put_ordered(w, m);
   w.boolean(has_state);
@@ -146,6 +176,13 @@ util::Result<WireMsg> WireMsg::decode(util::BytesView bytes) {
     auto om = get_ordered(r);
     if (!om) return om.error();
     m.buffered.push_back(std::move(om).take());
+  }
+  auto n_hb = r.u32();
+  if (!n_hb) return n_hb.error();
+  for (uint32_t i = 0; i < n_hb.value(); ++i) {
+    auto e = get_hb_entry(r);
+    if (!e) return e.error();
+    m.hb_entries.push_back(e.value());
   }
   auto n_retransmit = r.u32();
   if (!n_retransmit) return n_retransmit.error();

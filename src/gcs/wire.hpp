@@ -35,6 +35,23 @@ struct OrderedMsg {
   util::Bytes payload;
 };
 
+/// One member's liveness/progress summary as gossiped through the
+/// dissemination tree (Topology::kTree). Interior nodes aggregate the
+/// entries of their subtree and forward them upward; the root's full table
+/// flows back down, so every member learns about every other in O(depth)
+/// heartbeat periods without all-to-all traffic.
+struct HbEntry {
+  MemberId member;
+  uint64_t view_id = 0;    ///< view the member last advertised
+  uint64_t delivered = 0;  ///< its delivered gseq in that view
+  uint64_t heard_at = 0;   ///< virtual time someone last heard it directly
+  /// A direct tree neighbor timed the member out. Under the synchronous-
+  /// cluster assumption (no false suspicion on direct beats) the rumor is
+  /// trustworthy, so distant members — the coordinator in particular —
+  /// adopt it instead of waiting out their gossip-lag-scaled timeout.
+  bool suspected = false;
+};
+
 struct WireMsg {
   MsgKind kind = MsgKind::kHeartbeat;
   MemberId from;
@@ -56,6 +73,10 @@ struct WireMsg {
   // kFlushOk
   uint64_t delivered = 0;
   std::vector<OrderedMsg> buffered;
+
+  // kHeartbeat under Topology::kTree: aggregated summaries riding the beat
+  // (subtree entries upward, the full table downward).
+  std::vector<HbEntry> hb_entries;
 
   // kInstall
   std::vector<OrderedMsg> retransmit;

@@ -126,7 +126,16 @@ void FaultInjector::note(Lane& ln, const char* what, sim::HostId src, sim::HostI
   ln.trace.emplace_back(now, std::to_string(now) + " " + what + " host" + std::to_string(src) +
                                  "->host" + std::to_string(dst));
   if (obs::Hub* hub = engine_.obs()) {
-    hub->metrics.counter(std::string("net.fault.") + what).add(count);
+    // `what` is always a string literal, so its address identifies the
+    // counter; resolving "net.fault.<what>" through the registry on every
+    // faulted packet would allocate the name and take the registry lock.
+    if (hub != ln.obs_hub) {
+      ln.obs_hub = hub;
+      ln.obs_counters.clear();
+    }
+    obs::Counter*& counter = ln.obs_counters[static_cast<const void*>(what)];
+    if (counter == nullptr) counter = &hub->metrics.counter(std::string("net.fault.") + what);
+    counter->add(count);
     if (hub->tracer.enabled()) {
       hub->tracer.instant(static_cast<uint64_t>(now), "fault",
                           std::string(what) + " ->host" + std::to_string(dst), src);

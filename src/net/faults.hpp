@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "net/model_params.hpp"
+#include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 #include "sim/host.hpp"
 #include "util/rng.hpp"
@@ -166,6 +167,13 @@ class FaultInjector {
     /// (decision time, trace line) in emission order; times are monotone
     /// because the lane's host executes events in key order.
     std::vector<std::pair<sim::Time, std::string>> trace;
+    /// Per-lane cache of "net.fault.<what>" counter handles: note() runs per
+    /// faulted packet, and an uncached lookup allocates the name and takes
+    /// the registry lock every time. Keyed by the literal's address (the
+    /// `what` strings are string literals) and invalidated when the engine's
+    /// hub changes; per-lane so shard threads never share the cache.
+    obs::Hub* obs_hub = nullptr;
+    std::map<const void*, obs::Counter*> obs_counters;
   };
 
   Lane& lane(sim::HostId src) {

@@ -221,6 +221,10 @@ GoldenResult run_gcs_chaos(unsigned shards = 1) {
   eng.set_obs(&hub);
   net::Network net{eng};
   gcs::GroupConfig config;
+  // The golden replays the flat-topology seeded history; pin it so the
+  // STARFISH_GCS_TOPOLOGY env lever (used by the sanitizer tree tiers,
+  // whose -R 'Chaos' regex also matches this test) cannot flip it.
+  config.topology = gcs::Topology::kFlat;
 
   constexpr size_t kMembers = 4;
   std::vector<std::vector<std::string>> delivered(kMembers);
@@ -269,7 +273,11 @@ GoldenResult run_gcs_chaos(unsigned shards = 1) {
 TEST(EngineGolden, GcsChaosReplaysPreOverhaulHistory) {
   // Regenerated for the sharded-network overhaul (PR 6): per-source-host
   // fault lanes, per-host auto-port counters, and the message-based connect
-  // handshake all legitimately reorder the seeded history.
+  // handshake all legitimately reorder the seeded history. Trace hash
+  // regenerated again for the GCS wire-format growth (PR 8: the hb_entries
+  // field makes every control datagram a few bytes longer, which shifts the
+  // stream-retransmit penalties recorded in the fault trace); every count
+  // above the hash was unchanged by that growth.
   const GoldenResult want = {.events = 1292,
                              .sim_ns = 3000000000,
                              .switches = 638,
@@ -277,7 +285,7 @@ TEST(EngineGolden, GcsChaosReplaysPreOverhaulHistory) {
                              .runq_sum = 7799,
                              .runq_max = 20,
                              .trace_events = 473,
-                             .trace_hash = 15549924177170273670ull};
+                             .trace_hash = 8668644327926506007ull};
   check(run_gcs_chaos(), want);
 }
 
