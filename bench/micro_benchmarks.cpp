@@ -9,10 +9,12 @@
 #include "ckpt/image.hpp"
 #include "ckpt/incremental.hpp"
 #include "gcs/wire.hpp"
+#include "mpi/datatype.hpp"
 #include "mpi/frame.hpp"
 #include "sim/engine.hpp"
 #include "sim/sync.hpp"
 #include "util/buffer.hpp"
+#include "util/simd/simd.hpp"
 #include "vm/bytecode.hpp"
 #include "vm/interp.hpp"
 
@@ -229,13 +231,13 @@ util::Bytes incremental_encode_two_pass(const util::Bytes& prev, const util::Byt
   return out;
 }
 
-/// Two 16 MB states differing in kIncrDirtyPages pages, spread across the
-/// blob. Benchmarks ping-pong between them so every iteration diffs a state
-/// against a genuinely different predecessor.
-std::pair<util::Bytes, util::Bytes> incr_states() {
-  util::Bytes a(kIncrStateBytes, std::byte{0x11});
+/// Two `bytes`-sized states differing in kIncrDirtyPages pages, spread
+/// across the blob. Benchmarks ping-pong between them so every iteration
+/// diffs a state against a genuinely different predecessor.
+std::pair<util::Bytes, util::Bytes> incr_states(size_t bytes = kIncrStateBytes) {
+  util::Bytes a(bytes, std::byte{0x11});
   util::Bytes b = a;
-  const size_t n_pages = kIncrStateBytes / ckpt::kPageBytes;
+  const size_t n_pages = bytes / ckpt::kPageBytes;
   for (size_t i = 0; i < kIncrDirtyPages; ++i) {
     b[(i * (n_pages / kIncrDirtyPages) + 1) * ckpt::kPageBytes] = std::byte{0xee};
   }
@@ -420,6 +422,157 @@ void BM_GcsWireRoundtrip(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GcsWireRoundtrip);
+
+// --- SIMD data-plane kernels: dispatched vs forced-scalar ----------------
+//
+// Each pair runs one hot path under the dispatched table and again with the
+// scalar reference forced, so the speedup that justifies the dispatch layer
+// stays measurable on any host (EXPERIMENTS.md records the ratios; the
+// bit-identity of the outputs is pinned by tests/simd_differential_test.cpp).
+
+namespace simd = util::simd;
+
+/// Forces one ISA level for the duration of a benchmark run.
+class ScopedIsa {
+ public:
+  explicit ScopedIsa(simd::Isa isa) : prev_(simd::level()) { simd::force(isa); }
+  ~ScopedIsa() { simd::force(prev_); }
+
+ private:
+  simd::Isa prev_;
+};
+
+void fingerprint_bench(benchmark::State& state, simd::Isa isa) {
+  ScopedIsa forced(isa);
+  const size_t n = static_cast<size_t>(state.range(0));
+  util::Bytes buf(n, std::byte{0x5a});
+  for (size_t i = 0; i < n; i += 97) buf[i] = static_cast<std::byte>(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::fingerprint(buf.data(), buf.size()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * n);
+}
+void BM_FingerprintDispatch(benchmark::State& state) {
+  fingerprint_bench(state, simd::level());
+}
+void BM_FingerprintScalar(benchmark::State& state) {
+  fingerprint_bench(state, simd::Isa::kScalar);
+}
+BENCHMARK(BM_FingerprintDispatch)->Arg(4096)->Arg(16 * 1024 * 1024);
+BENCHMARK(BM_FingerprintScalar)->Arg(4096)->Arg(16 * 1024 * 1024);
+
+// The warm incremental-checkpoint encode (fingerprint-dominated: one hash
+// pass, 4 dirty pages) — the end-to-end path the dispatch layer was built
+// for, A/B'd against the scalar reference. 512 KB state so both copies of
+// the ping-pong stay L2-resident and the A/B measures the hash kernels,
+// not this host's cache hierarchy (the 16 MB streaming case keeps its own
+// BM_IncrementalEncode* benches above).
+constexpr size_t kWarmEncodeBytes = 512 * 1024;
+
+void warm_encode_bench(benchmark::State& state, simd::Isa isa) {
+  ScopedIsa forced(isa);
+  auto [a, b] = incr_states(kWarmEncodeBytes);
+  ckpt::PageHashCache cache;
+  cache.rebuild(util::as_bytes_view(a));
+  bool flip = false;
+  for (auto _ : state) {
+    auto delta = ckpt::incremental_encode(flip ? b : a, flip ? a : b, nullptr, &cache);
+    flip = !flip;
+    benchmark::DoNotOptimize(delta.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * kWarmEncodeBytes);
+}
+void BM_FingerprintWarmEncodeDispatch(benchmark::State& state) {
+  warm_encode_bench(state, simd::level());
+}
+void BM_FingerprintWarmEncodeScalar(benchmark::State& state) {
+  warm_encode_bench(state, simd::Isa::kScalar);
+}
+BENCHMARK(BM_FingerprintWarmEncodeDispatch);
+BENCHMARK(BM_FingerprintWarmEncodeScalar);
+
+/// Int-heavy state whose portable image is dominated by the integer column.
+vm::VmState convert_state(size_t n_ints) {
+  vm::VmState s;
+  s.globals.reserve(n_ints);
+  for (size_t i = 0; i < n_ints; ++i) {
+    s.globals.push_back(vm::Value::integer(static_cast<int32_t>(i * 2654435761u)));
+  }
+  return s;
+}
+
+// Encode on a big-endian 32-bit saver from this (little-endian) host: the
+// byteswap + narrow direction of the heterogeneous conversion.
+void image_encode_bench(benchmark::State& state, simd::Isa isa) {
+  ScopedIsa forced(isa);
+  auto machines = sim::table2_machines();
+  const vm::VmState s = convert_state(1 << 16);
+  for (auto _ : state) {
+    auto img = ckpt::portable_encode(machines[1], s);
+    benchmark::DoNotOptimize(img.payload.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * (1 << 16));
+}
+void BM_ImageConvertEncodeDispatch(benchmark::State& state) {
+  image_encode_bench(state, simd::level());
+}
+void BM_ImageConvertEncodeScalar(benchmark::State& state) {
+  image_encode_bench(state, simd::Isa::kScalar);
+}
+BENCHMARK(BM_ImageConvertEncodeDispatch);
+BENCHMARK(BM_ImageConvertEncodeScalar);
+
+// Decode the same image on a little-endian 64-bit target: byteswap + widen.
+void image_decode_bench(benchmark::State& state, simd::Isa isa) {
+  ScopedIsa forced(isa);
+  auto machines = sim::table2_machines();
+  const auto img = ckpt::portable_encode(machines[1], convert_state(1 << 16));
+  for (auto _ : state) {
+    auto back = ckpt::portable_decode(img, machines[5]);
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * (1 << 16));
+}
+void BM_ImageConvertDecodeDispatch(benchmark::State& state) {
+  image_decode_bench(state, simd::level());
+}
+void BM_ImageConvertDecodeScalar(benchmark::State& state) {
+  image_decode_bench(state, simd::Isa::kScalar);
+}
+BENCHMARK(BM_ImageConvertDecodeDispatch);
+BENCHMARK(BM_ImageConvertDecodeScalar);
+
+// Large-message pack + unpack of a strided vector layout (a 256 KB matrix
+// band: 256-byte blocks every 512 bytes), and the contiguous fast path.
+// Cache-resident on purpose: at multi-MB sizes every implementation is
+// DRAM-bound and the bench would measure the memory bus, not the kernels.
+void datatype_pack_bench(benchmark::State& state, simd::Isa isa, bool contiguous) {
+  ScopedIsa forced(isa);
+  const size_t total = 256 * 1024;
+  const auto dt = contiguous ? mpi::Datatype::contiguous(total, 1)
+                             : mpi::Datatype::vector(total / 512, 256, 512, 1);
+  util::Bytes buf(dt.extent(), std::byte{0x3c});
+  util::Bytes scatter(dt.extent());
+  for (auto _ : state) {
+    auto packed = dt.pack(util::as_bytes_view(buf));
+    benchmark::DoNotOptimize(packed.value().data());
+    auto st = dt.unpack(packed.value(), scatter);
+    benchmark::DoNotOptimize(st.ok());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 2 * dt.packed_bytes());
+}
+void BM_DatatypePackStridedDispatch(benchmark::State& state) {
+  datatype_pack_bench(state, simd::level(), false);
+}
+void BM_DatatypePackStridedScalar(benchmark::State& state) {
+  datatype_pack_bench(state, simd::Isa::kScalar, false);
+}
+void BM_DatatypePackContiguous(benchmark::State& state) {
+  datatype_pack_bench(state, simd::level(), true);
+}
+BENCHMARK(BM_DatatypePackStridedDispatch);
+BENCHMARK(BM_DatatypePackStridedScalar);
+BENCHMARK(BM_DatatypePackContiguous);
 
 }  // namespace
 

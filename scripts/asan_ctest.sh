@@ -61,6 +61,12 @@ STARFISH_CKPT_BACKEND=replica ctest --output-on-failure -R 'Chaos|Replica' -j "$
 # rides along to pin stream equivalence in the instrumented tree.
 [ "$(ctest -N | grep -c "GcsDifferential")" -gt 0 ] || { echo "gcs differential tests missing from ctest registration" >&2; exit 1; }
 STARFISH_GCS_TOPOLOGY=tree ctest --output-on-failure -R 'Chaos|Group|GcsDifferential' -j "$@"
+# Data-plane tiers again with SIMD dispatch forced to the scalar reference:
+# the env repoints the kernel table, so the sanitizer sweeps the exact
+# loops the vector kernels are differenced against (the differential suite
+# itself still exercises every compiled level via simd::table()).
+[ "$(ctest -N | grep -c "SimdDifferential")" -gt 0 ] || { echo "simd differential tests missing from ctest registration" >&2; exit 1; }
+STARFISH_SIMD=scalar ctest --output-on-failure -R 'Simd|PortableImage|Datatype|Incremental' -j "$@"
 
 # Perf smoke rides along on the non-sanitized Release tree: warn-only
 # comparison of the engine hot-path benches vs scripts/perf_baseline.json.

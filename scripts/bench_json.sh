@@ -16,7 +16,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT_NAME="${1:-BENCH_PR8.json}"
+OUT_NAME="${1:-BENCH_PR9.json}"
 BUILD=build-bench
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" -j --target \

@@ -52,3 +52,10 @@ echo "== TSan pass 4: group/chaos tiers, tree dissemination topology, 4 shards =
 # heartbeat aggregation, fragmentation fallback) across worker threads.
 STARFISH_SHARDS=4 STARFISH_GCS_TOPOLOGY=tree ctest --output-on-failure \
   -R 'Chaos|Group|GcsDifferential' -j "$@"
+
+echo "== TSan pass 5: data-plane tiers, SIMD dispatch forced scalar, 4 shards =="
+# Checkpoint fingerprints run from every worker shard; this pass races the
+# scalar reference kernels (the loops the vector paths are differenced
+# against) through the same multi-shard checkpoint workload.
+STARFISH_SHARDS=4 STARFISH_SIMD=scalar ctest --output-on-failure \
+  -R 'Simd|PortableImage|Datatype|Incremental' -j "$@"

@@ -1,5 +1,7 @@
 #include "ckpt/image.hpp"
 
+#include "util/simd/simd.hpp"
+
 namespace starfish::ckpt {
 
 namespace {
@@ -10,68 +12,104 @@ using util::Writer;
 using vm::Tag;
 using vm::Value;
 
-constexpr uint32_t kPortableMagic = 0x53465650;  // "SFVP"
+// "SFV2": the columnar portable layout (PR 9). Value sequences are stored
+// struct-of-arrays — a tag byte per value, then the integer words, floats,
+// bools and refs each as one contiguous homogeneous array — so the
+// endianness and word-size conversion of heterogeneous checkpointing runs
+// through the util/simd bulk kernels (byteswap, widen/narrow) instead of a
+// per-value switch. The bytes are ISA-invariant: every kernel is
+// bit-identical across scalar/AVX2/AVX-512/NEON (DESIGN.md §16).
+constexpr uint32_t kPortableMagic = 0x53465632;
 
-/// Writes an integer in a saver-word-sized slot.
-void put_word(Writer& w, int64_t v, uint8_t word_bytes) {
+/// Gathered columns of one value sequence (encode side).
+struct Columns {
+  std::vector<int64_t> ints;
+  std::vector<double> floats;
+  util::Bytes bools;
+  std::vector<uint32_t> refs;
+};
+
+/// Writes `vals` as tags + columns. Layout per sequence (count written by
+/// the caller): u8 tags[count]; ints (saver-word-sized each, in value
+/// order); f64 floats; u8 bools; u32 refs.
+void put_values(Writer& w, std::span<const Value> vals, uint8_t word_bytes) {
+  util::Bytes tags;
+  tags.reserve(vals.size());
+  Columns c;
+  for (const auto& v : vals) {
+    tags.push_back(static_cast<std::byte>(v.tag));
+    switch (v.tag) {
+      case Tag::kUnit: break;
+      case Tag::kInt: c.ints.push_back(v.i); break;
+      case Tag::kFloat: c.floats.push_back(v.f); break;
+      case Tag::kBool: c.bools.push_back(std::byte{v.i ? uint8_t{1} : uint8_t{0}}); break;
+      case Tag::kRef: c.refs.push_back(v.ref); break;
+    }
+  }
+  w.raw(util::as_bytes_view(tags));
   if (word_bytes >= 8) {
-    w.i64(v);
+    w.i64s(c.ints);
   } else {
-    w.i32(static_cast<int32_t>(v));  // VM arithmetic already wrapped to 32 bits
+    w.i32s_narrowed(c.ints);  // VM arithmetic already wrapped to 32 bits
   }
+  w.f64s(c.floats);
+  w.raw(util::as_bytes_view(c.bools));
+  w.u32s(c.refs);
 }
 
-util::Result<int64_t> get_word(Reader& r, uint8_t word_bytes) {
-  if (word_bytes >= 8) return r.i64();
-  auto v = r.i32();
-  if (!v) return v.error();
-  return static_cast<int64_t>(v.value());
-}
-
-void put_value(Writer& w, const Value& v, uint8_t word_bytes) {
-  w.u8(static_cast<uint8_t>(v.tag));
-  switch (v.tag) {
-    case Tag::kUnit: break;
-    case Tag::kInt: put_word(w, v.i, word_bytes); break;
-    case Tag::kFloat: w.f64(v.f); break;
-    case Tag::kBool: w.u8(v.i ? 1 : 0); break;
-    case Tag::kRef: w.u32(v.ref); break;
+/// Reads `count` values written by put_values, converting the saver's word
+/// size and checking every integer against the target machine's word.
+util::Result<std::vector<Value>> get_values(Reader& r, uint32_t count, uint8_t saver_word,
+                                            const sim::Machine& target) {
+  auto tags = r.raw_view(count);
+  if (!tags) return tags.error();
+  size_t n_ints = 0, n_floats = 0, n_bools = 0, n_refs = 0;
+  for (std::byte t : tags.value()) {
+    switch (static_cast<Tag>(t)) {
+      case Tag::kUnit: break;
+      case Tag::kInt: ++n_ints; break;
+      case Tag::kFloat: ++n_floats; break;
+      case Tag::kBool: ++n_bools; break;
+      case Tag::kRef: ++n_refs; break;
+      default: return util::Error::make("decode", "bad value tag");
+    }
   }
-}
+  std::vector<int64_t> ints(n_ints);
+  if (saver_word >= 8) {
+    if (auto s = r.read_i64s(ints); !s.ok()) return s.error();
+  } else {
+    if (auto s = r.read_i64s_widened(ints); !s.ok()) return s.error();
+  }
+  std::vector<double> floats(n_floats);
+  if (auto s = r.read_f64s(floats); !s.ok()) return s.error();
+  auto bools = r.raw_view(n_bools);
+  if (!bools) return bools.error();
+  std::vector<uint32_t> refs(n_refs);
+  if (auto s = r.read_u32s(refs); !s.ok()) return s.error();
 
-util::Result<Value> get_value(Reader& r, uint8_t saver_word, const sim::Machine& target) {
-  auto tag = r.u8();
-  if (!tag) return tag.error();
-  switch (static_cast<Tag>(tag.value())) {
-    case Tag::kUnit: return Value::unit();
-    case Tag::kInt: {
-      auto v = get_word(r, saver_word);
-      if (!v) return v.error();
-      if (!vm::fits_word(v.value(), target)) {
-        return util::Error::make(
-            "narrow", "integer " + std::to_string(v.value()) +
-                          " does not fit the target machine's " +
-                          std::to_string(target.word_bytes * 8) + "-bit word");
+  std::vector<Value> out;
+  out.reserve(count);
+  size_t ii = 0, fi = 0, bi = 0, ri = 0;
+  for (std::byte t : tags.value()) {
+    switch (static_cast<Tag>(t)) {
+      case Tag::kUnit: out.push_back(Value::unit()); break;
+      case Tag::kInt: {
+        const int64_t v = ints[ii++];
+        if (!vm::fits_word(v, target)) {
+          return util::Error::make(
+              "narrow", "integer " + std::to_string(v) +
+                            " does not fit the target machine's " +
+                            std::to_string(target.word_bytes * 8) + "-bit word");
+        }
+        out.push_back(Value::integer(v));
+        break;
       }
-      return Value::integer(v.value());
-    }
-    case Tag::kFloat: {
-      auto v = r.f64();
-      if (!v) return v.error();
-      return Value::real(v.value());
-    }
-    case Tag::kBool: {
-      auto v = r.u8();
-      if (!v) return v.error();
-      return Value::boolean(v.value() != 0);
-    }
-    case Tag::kRef: {
-      auto v = r.u32();
-      if (!v) return v.error();
-      return Value::reference(v.value());
+      case Tag::kFloat: out.push_back(Value::real(floats[fi++])); break;
+      case Tag::kBool: out.push_back(Value::boolean(bools.value()[bi++] != std::byte{0})); break;
+      default: out.push_back(Value::reference(refs[ri++])); break;  // kRef (tags pre-validated)
     }
   }
-  return util::Error::make("decode", "bad value tag");
+  return out;
 }
 
 }  // namespace
@@ -115,22 +153,22 @@ Image portable_encode(const sim::Machine& saver, const vm::VmState& state) {
   const uint8_t word = saver.word_bytes;
   w.u32(kPortableMagic);
   w.u32(static_cast<uint32_t>(state.globals.size()));
-  for (const auto& v : state.globals) put_value(w, v, word);
+  put_values(w, state.globals, word);
   w.u32(static_cast<uint32_t>(state.stack.size()));
-  for (const auto& v : state.stack) put_value(w, v, word);
+  put_values(w, state.stack, word);
   w.u32(static_cast<uint32_t>(state.frames.size()));
   for (const auto& f : state.frames) {
     w.u32(f.function);
     w.u32(f.pc);
     w.u32(static_cast<uint32_t>(f.locals.size()));
-    for (const auto& v : f.locals) put_value(w, v, word);
+    put_values(w, f.locals, word);
   }
   w.u32(static_cast<uint32_t>(state.heap.size()));
   for (const auto& obj : state.heap) {
     w.u8(static_cast<uint8_t>(obj.kind));
     if (obj.kind == vm::HeapObject::Kind::kArray) {
       w.u32(static_cast<uint32_t>(obj.fields.size()));
-      for (const auto& v : obj.fields) put_value(w, v, word);
+      put_values(w, obj.fields, word);
     } else {
       w.bytes(util::as_bytes_view(obj.bytes));
     }
@@ -158,18 +196,14 @@ util::Result<vm::VmState> portable_decode(const Image& image, const sim::Machine
   vm::VmState state;
   auto n_globals = r.u32();
   if (!n_globals) return n_globals.error();
-  for (uint32_t i = 0; i < n_globals.value(); ++i) {
-    auto v = get_value(r, word, target);
-    if (!v) return v.error();
-    state.globals.push_back(v.value());
-  }
+  auto globals = get_values(r, n_globals.value(), word, target);
+  if (!globals) return globals.error();
+  state.globals = std::move(globals).take();
   auto n_stack = r.u32();
   if (!n_stack) return n_stack.error();
-  for (uint32_t i = 0; i < n_stack.value(); ++i) {
-    auto v = get_value(r, word, target);
-    if (!v) return v.error();
-    state.stack.push_back(v.value());
-  }
+  auto stack = get_values(r, n_stack.value(), word, target);
+  if (!stack) return stack.error();
+  state.stack = std::move(stack).take();
   auto n_frames = r.u32();
   if (!n_frames) return n_frames.error();
   for (uint32_t i = 0; i < n_frames.value(); ++i) {
@@ -182,11 +216,9 @@ util::Result<vm::VmState> portable_decode(const Image& image, const sim::Machine
     f.pc = pc.value();
     auto n_locals = r.u32();
     if (!n_locals) return n_locals.error();
-    for (uint32_t k = 0; k < n_locals.value(); ++k) {
-      auto v = get_value(r, word, target);
-      if (!v) return v.error();
-      f.locals.push_back(v.value());
-    }
+    auto locals = get_values(r, n_locals.value(), word, target);
+    if (!locals) return locals.error();
+    f.locals = std::move(locals).take();
     state.frames.push_back(std::move(f));
   }
   auto n_heap = r.u32();
@@ -199,11 +231,9 @@ util::Result<vm::VmState> portable_decode(const Image& image, const sim::Machine
     if (obj.kind == vm::HeapObject::Kind::kArray) {
       auto n = r.u32();
       if (!n) return n.error();
-      for (uint32_t k = 0; k < n.value(); ++k) {
-        auto v = get_value(r, word, target);
-        if (!v) return v.error();
-        obj.fields.push_back(v.value());
-      }
+      auto fields = get_values(r, n.value(), word, target);
+      if (!fields) return fields.error();
+      obj.fields = std::move(fields).take();
     } else {
       auto b = r.bytes();
       if (!b) return b.error();

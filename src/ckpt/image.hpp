@@ -13,6 +13,12 @@
 // and word length to the target machine. An empty program costs only 260 KB
 // (Figure 4) because the VM run-time itself is not part of the image.
 //
+// Since PR 9 the portable payload is columnar ("SFV2"): each value sequence
+// stores a tag byte per value followed by the integer words, floats, bools
+// and refs as contiguous homogeneous arrays, so both conversion directions
+// run through the util/simd bulk kernels (byteswap, widen/narrow) and the
+// payload bytes are identical at every dispatched ISA level.
+//
 // Images are defined over VmState in ORIGINAL bytecode coordinates. The
 // interpreter's execution engine (vm/exec.hpp) never leaks its prepared or
 // fused representation into frames, pcs or step counts, so the bytes

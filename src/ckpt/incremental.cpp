@@ -3,10 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
-#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
-#define STARFISH_FP_AVX2 1
-#include <immintrin.h>
-#endif
+#include "util/simd/simd.hpp"
 
 namespace starfish::ckpt {
 
@@ -15,147 +12,16 @@ namespace starfish::ckpt {
 
 namespace {
 
-// XXH64 primes. A single multiply-chained hash (FNV and friends) runs at a
-// quarter of memcmp speed because every step waits on the previous multiply;
-// the four independent accumulators below pipeline, which is what makes
-// hash-based change detection faster than re-comparing, not just equal.
-constexpr uint64_t kPrime1 = 11400714785074694791ull;
-constexpr uint64_t kPrime2 = 14029467366897019727ull;
-constexpr uint64_t kPrime3 = 1609587929392839161ull;
-constexpr uint64_t kPrime4 = 9650029242287828579ull;
-constexpr uint64_t kPrime5 = 2870177450012600261ull;
-
-uint64_t rotl(uint64_t x, int r) { return (x << r) | (x >> (64 - r)); }
-
-uint64_t read64(const std::byte* p) {
-  uint64_t v;
-  std::memcpy(&v, p, sizeof(v));
-  return v;
-}
-
-uint64_t round_step(uint64_t acc, uint64_t lane) {
-  return rotl(acc + lane * kPrime2, 31) * kPrime1;
-}
-
-uint64_t merge_round(uint64_t h, uint64_t acc) {
-  h ^= round_step(0, acc);
-  return h * kPrime1 + kPrime4;
-}
-
-uint64_t avalanche(uint64_t h) {
-  h ^= h >> 33;
-  h *= kPrime2;
-  h ^= h >> 29;
-  h *= kPrime3;
-  h ^= h >> 32;
-  return h;
-}
-
 size_t page_count(size_t len) { return (len + kPageBytes - 1) / kPageBytes; }
-
-/// Portable fingerprint: XXH64 (seed 0). Pages are 4 KB except a possibly
-/// shorter tail page; the length is folded in, so a page and its
-/// zero-extension differ.
-uint64_t fingerprint_scalar(const std::byte* p, size_t n) {
-  size_t i = 0;
-  uint64_t h;
-  if (n >= 32) {
-    uint64_t v1 = kPrime1 + kPrime2;
-    uint64_t v2 = kPrime2;
-    uint64_t v3 = 0;
-    uint64_t v4 = 0ull - kPrime1;
-    for (; i + 32 <= n; i += 32) {
-      v1 = round_step(v1, read64(p + i));
-      v2 = round_step(v2, read64(p + i + 8));
-      v3 = round_step(v3, read64(p + i + 16));
-      v4 = round_step(v4, read64(p + i + 24));
-    }
-    h = rotl(v1, 1) + rotl(v2, 7) + rotl(v3, 12) + rotl(v4, 18);
-    h = merge_round(h, v1);
-    h = merge_round(h, v2);
-    h = merge_round(h, v3);
-    h = merge_round(h, v4);
-  } else {
-    h = kPrime5;
-  }
-  h += n;
-  for (; i + 8 <= n; i += 8) {
-    h = rotl(h ^ round_step(0, read64(p + i)), 27) * kPrime1 + kPrime4;
-  }
-  if (i + 4 <= n) {
-    uint32_t v;
-    std::memcpy(&v, p + i, sizeof(v));
-    h = rotl(h ^ (v * kPrime1), 23) * kPrime2 + kPrime3;
-    i += 4;
-  }
-  for (; i < n; ++i) {
-    h = rotl(h ^ (static_cast<uint8_t>(p[i]) * kPrime5), 11) * kPrime1;
-  }
-  return avalanche(h);
-}
-
-#ifdef STARFISH_FP_AVX2
-
-/// Wide fingerprint (XXH3-style accumulate): four 256-bit accumulators eat
-/// 128 B per step, each 64-bit lane adding lo32*hi32 of (data ^ key) plus
-/// the half-swapped data word. Roughly 2x scalar XXH64 here, which is what
-/// pushes hash-based detection decisively past glibc's vectorized memcmp.
-/// Only equality of fingerprints matters and the cache never leaves the
-/// process, so the two kernels producing different values is fine.
-__attribute__((target("avx2"))) inline __m256i accumulate256(__m256i acc, __m256i data,
-                                                             __m256i key) {
-  const __m256i mixed = _mm256_xor_si256(data, key);
-  const __m256i product = _mm256_mul_epu32(mixed, _mm256_srli_epi64(mixed, 32));
-  const __m256i swapped = _mm256_shuffle_epi32(data, _MM_SHUFFLE(1, 0, 3, 2));
-  return _mm256_add_epi64(acc, _mm256_add_epi64(product, swapped));
-}
-
-__attribute__((target("avx2"))) uint64_t fingerprint_avx2(const std::byte* p, size_t n) {
-  const __m256i k1 = _mm256_set1_epi64x(static_cast<long long>(kPrime1));
-  const __m256i k2 = _mm256_set1_epi64x(static_cast<long long>(kPrime2));
-  const __m256i k3 = _mm256_set1_epi64x(static_cast<long long>(kPrime3));
-  const __m256i k4 = _mm256_set1_epi64x(-static_cast<long long>(kPrime2));
-  __m256i a0 = k3;
-  __m256i a1 = _mm256_set1_epi64x(-static_cast<long long>(kPrime1));
-  __m256i a2 = k1;
-  __m256i a3 = k2;
-  size_t i = 0;
-  for (; i + 128 <= n; i += 128) {
-    a0 = accumulate256(a0, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i)), k1);
-    a1 = accumulate256(a1, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i + 32)), k2);
-    a2 = accumulate256(a2, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i + 64)), k3);
-    a3 = accumulate256(a3, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i + 96)), k4);
-  }
-  for (; i + 32 <= n; i += 32) {
-    a0 = accumulate256(a0, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i)), k1);
-  }
-  alignas(32) uint64_t lanes[16];
-  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), a0);
-  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes + 4), a1);
-  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes + 8), a2);
-  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes + 12), a3);
-  uint64_t h = static_cast<uint64_t>(n) * kPrime1;
-  for (uint64_t lane : lanes) h = (h ^ lane) * kPrime1 + kPrime3;
-  for (; i < n; ++i) {
-    h = rotl(h ^ (static_cast<uint8_t>(p[i]) * kPrime5), 11) * kPrime1;
-  }
-  return avalanche(h);
-}
-
-bool have_avx2() {
-  static const bool v = __builtin_cpu_supports("avx2");
-  return v;
-}
-
-#endif  // STARFISH_FP_AVX2
 
 }  // namespace
 
+// The fingerprint kernel itself lives in util/simd (one ISA-dispatched
+// implementation tree, bit-identical across levels — see DESIGN.md §16).
+// The pre-PR9 hand-rolled AVX2 kernel and its per-call-site
+// __builtin_cpu_supports gate are gone; dispatch happens once, centrally.
 uint64_t page_fingerprint(util::BytesView page) {
-#ifdef STARFISH_FP_AVX2
-  if (have_avx2()) return fingerprint_avx2(page.data(), page.size());
-#endif
-  return fingerprint_scalar(page.data(), page.size());
+  return util::simd::fingerprint(page.data(), page.size());
 }
 
 void PageHashCache::rebuild(util::BytesView state) {
@@ -188,12 +54,15 @@ util::Bytes incremental_encode(const util::Bytes& prev, const util::Bytes& cur,
   if (cache != nullptr) next_hashes.resize(n_pages);
 
   uint32_t changed = 0;
+  // One dispatch lookup for the whole pass (not one atomic load + double
+  // indirection per page — this loop runs once per 4 KB).
+  const util::simd::Ops& simd = util::simd::ops();
   for (size_t p = 0; p < n_pages; ++p) {
     const size_t off = p * kPageBytes;
     const size_t len = std::min(kPageBytes, cur.size() - off);
     uint64_t fp = 0;
     if (cache != nullptr) {
-      fp = page_fingerprint({cur.data() + off, len});
+      fp = simd.fingerprint(cur.data() + off, len);
       next_hashes[p] = fp;
     }
     bool differs;

@@ -40,9 +40,28 @@ class Datatype {
   util::Status unpack(std::span<const std::byte> message,
                       std::span<std::byte> buffer) const;
 
+  /// True when the layout collapses to one contiguous byte run (pack is a
+  /// single bulk copy; includes vectors whose stride equals the block).
+  bool is_contiguous() const { return plan_.size() <= 1; }
+
  private:
   Datatype() = default;
+
+  /// Compiles blocks_ into the flattened copy plan pack/unpack execute:
+  /// zero-length blocks dropped, adjacent blocks merged (the message side is
+  /// always contiguous, so runs merge whenever the buffer offsets touch).
+  /// Called once by every factory; blocks_ stays as the descriptive layout.
+  void build_plan();
+
+  /// One copy run: `len` bytes at buffer offset `src`, message offset `dst`.
+  struct Run {
+    size_t src;
+    size_t dst;
+    size_t len;
+  };
+
   std::vector<std::pair<size_t, size_t>> blocks_;  // (byte offset, byte length)
+  std::vector<Run> plan_;                          // merged, zero-runs dropped
   size_t packed_bytes_ = 0;
   size_t extent_ = 0;
 };

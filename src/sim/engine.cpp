@@ -8,6 +8,7 @@
 #include <limits>
 
 #include "util/log.hpp"
+#include "util/simd/simd.hpp"
 
 #if STARFISH_TSAN_FIBER_API
 // ThreadSanitizer's fiber API: announces each stack switch so TSan keeps a
@@ -189,6 +190,13 @@ Engine::~Engine() {
 
 void Engine::set_obs(obs::Hub* hub) {
   obs_ = hub;
+  if (hub != nullptr) {
+    // Which kernel table the data plane dispatched to (0=scalar, 1=neon,
+    // 2=avx2, 3=avx512), so bench JSON and metric snapshots are
+    // self-describing about the ISA they were measured under.
+    hub->metrics.gauge("sim.simd.dispatch")
+        .set(static_cast<int64_t>(util::simd::level()));
+  }
   obs_events_ = hub ? &hub->metrics.counter("sim.events_executed") : nullptr;
   obs_switches_ = hub ? &hub->metrics.counter("sim.fiber_switches") : nullptr;
   obs_runq_ = hub ? &hub->metrics.histogram("sim.run_queue_depth",

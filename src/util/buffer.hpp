@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "util/result.hpp"
+#include "util/simd/simd.hpp"
 
 namespace starfish::util {
 
@@ -157,7 +158,52 @@ class Writer {
     if (!data.empty()) std::memcpy(out_.data() + at, data.data(), data.size());
   }
 
+  // --- bulk appends (SIMD byteswap/convert; one resize, no per-element
+  // shifting loop). Wire layout is identical to calling the per-element
+  // append in a loop — these exist because the portable-image codec and the
+  // typed array codecs write thousands of homogeneous words at a time. ---
+
+  void u32s(std::span<const uint32_t> v) { put_ints<uint32_t, 4>(v.data(), v.size()); }
+  void i32s(std::span<const int32_t> v) { put_ints<int32_t, 4>(v.data(), v.size()); }
+  void u64s(std::span<const uint64_t> v) { put_ints<uint64_t, 8>(v.data(), v.size()); }
+  void i64s(std::span<const int64_t> v) { put_ints<int64_t, 8>(v.data(), v.size()); }
+  /// IEEE bit patterns as 64-bit words (same bytes as f64() per element).
+  void f64s(std::span<const double> v) { put_ints<double, 8>(v.data(), v.size()); }
+  /// Truncates each int64 to int32 and appends the 32-bit words (the
+  /// word-size conversion of heterogeneous checkpointing, in bulk).
+  void i32s_narrowed(std::span<const int64_t> v) {
+    if (v.empty()) return;
+    const size_t at = grow(v.size() * 4);
+    std::byte* dst = out_.data() + at;
+    simd::narrow_i64_i32(dst, reinterpret_cast<const std::byte*>(v.data()), v.size());
+    if (endian_ != native_endian()) simd::bswap32(dst, dst, v.size());
+  }
+
  private:
+  /// Appends n elements of kElem bytes each, byte-swapping when the target
+  /// endianness differs from the host's.
+  template <typename T, unsigned kElem>
+  void put_ints(const T* src, size_t n) {
+    static_assert(sizeof(T) == kElem);
+    if (n == 0) return;
+    const size_t at = grow(n * kElem);
+    std::byte* dst = out_.data() + at;
+    const std::byte* s = reinterpret_cast<const std::byte*>(src);
+    if (endian_ == native_endian()) {
+      simd::copy(dst, s, n * kElem);
+    } else if constexpr (kElem == 4) {
+      simd::bswap32(dst, s, n);
+    } else {
+      simd::bswap64(dst, s, n);
+    }
+  }
+
+  size_t grow(size_t n) {
+    const size_t at = out_.size();
+    out_.resize(at + n);
+    return at;
+  }
+
   template <typename U>
   void put_int(U v) {
     // One resize + direct stores (no per-integer insert churn); the
@@ -264,7 +310,59 @@ class Reader {
     return out;
   }
 
+  // --- bulk reads (inverse of the Writer bulk appends; bounds-checked as a
+  // whole, then one SIMD byteswap/convert pass into the caller's array) ---
+
+  Status read_u32s(std::span<uint32_t> out) { return get_ints<uint32_t, 4>(out, "u32s"); }
+  Status read_i32s(std::span<int32_t> out) { return get_ints<int32_t, 4>(out, "i32s"); }
+  Status read_u64s(std::span<uint64_t> out) { return get_ints<uint64_t, 8>(out, "u64s"); }
+  Status read_i64s(std::span<int64_t> out) { return get_ints<int64_t, 8>(out, "i64s"); }
+  Status read_f64s(std::span<double> out) { return get_ints<double, 8>(out, "f64s"); }
+  /// Reads out.size() 32-bit words and sign-extends each into an int64 (the
+  /// widening restore of a 32-bit saver's image on a 64-bit reader).
+  Status read_i64s_widened(std::span<int64_t> out) {
+    const size_t n = out.size();
+    if (remaining() < n * 4) return short_read("i32s");
+    const std::byte* src = data_.data() + pos_;
+    std::byte* dst = reinterpret_cast<std::byte*>(out.data());
+    if (endian_ == native_endian()) {
+      simd::widen_i32_i64(dst, src, n);
+    } else {
+      // Swap into native int32 order first (chunked through a small stack
+      // buffer so the pass stays allocation-free), then sign-extend.
+      constexpr size_t kChunk = 512;
+      alignas(16) std::byte tmp[kChunk * 4];
+      for (size_t i = 0; i < n; i += kChunk) {
+        const size_t c = n - i < kChunk ? n - i : kChunk;
+        simd::bswap32(tmp, src + 4 * i, c);
+        simd::widen_i32_i64(dst + 8 * i, tmp, c);
+      }
+    }
+    pos_ += n * 4;
+    return Status::ok_status();
+  }
+
  private:
+  template <typename T, unsigned kElem>
+  Status get_ints(std::span<T> out, const char* what) {
+    static_assert(sizeof(T) == kElem);
+    const size_t n = out.size();
+    if (remaining() < n * kElem) return short_read(what);
+    if (n != 0) {
+      const std::byte* src = data_.data() + pos_;
+      std::byte* dst = reinterpret_cast<std::byte*>(out.data());
+      if (endian_ == native_endian()) {
+        simd::copy(dst, src, n * kElem);
+      } else if constexpr (kElem == 4) {
+        simd::bswap32(dst, src, n);
+      } else {
+        simd::bswap64(dst, src, n);
+      }
+    }
+    pos_ += n * kElem;
+    return Status::ok_status();
+  }
+
   template <typename U>
   Result<U> get_int(const char* what) {
     if (remaining() < sizeof(U)) return short_read(what);

@@ -1,0 +1,105 @@
+// Runtime table selection: CPU probe + STARFISH_SIMD override.
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/simd/backends.hpp"
+#include "util/simd/simd.hpp"
+
+namespace starfish::util::simd {
+
+namespace {
+
+/// Highest-preference usable level (table() already folds the CPU probe in).
+const Ops* best_table() {
+  for (Isa isa : {Isa::kAvx512, Isa::kAvx2, Isa::kNeon}) {
+    if (const Ops* t = table(isa)) return t;
+  }
+  return table(Isa::kScalar);
+}
+
+const Ops* select_from_env() {
+  const char* env = std::getenv("STARFISH_SIMD");
+  if (env == nullptr || *env == '\0' || std::strcmp(env, "native") == 0) return best_table();
+  for (Isa isa : {Isa::kScalar, Isa::kAvx2, Isa::kAvx512, Isa::kNeon}) {
+    if (std::strcmp(env, isa_name(isa)) != 0) continue;
+    if (const Ops* t = table(isa)) return t;
+    // Never run an unsupported level: an explicit-but-unavailable request
+    // degrades to the reference table (the conservative choice for the
+    // scalar-forced test tiers this override exists for).
+    std::fprintf(stderr, "starfish: STARFISH_SIMD=%s not available on this host/build, using scalar\n",
+                 env);
+    return table(Isa::kScalar);
+  }
+  std::fprintf(stderr, "starfish: unknown STARFISH_SIMD=%s (want scalar|avx2|avx512|neon|native), using native\n",
+               env);
+  return best_table();
+}
+
+std::atomic<const Ops*> g_ops{nullptr};
+
+}  // namespace
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar: return "scalar";
+    case Isa::kNeon: return "neon";
+    case Isa::kAvx2: return "avx2";
+    case Isa::kAvx512: return "avx512";
+  }
+  return "?";
+}
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures features = [] {
+    CpuFeatures f;
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+    f.avx2 = __builtin_cpu_supports("avx2");
+    f.avx512 = __builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512bw");
+#elif defined(__aarch64__)
+    f.neon = true;
+#endif
+    return f;
+  }();
+  return features;
+}
+
+const Ops* table(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar: return scalar_ops();
+    case Isa::kNeon: return cpu_features().neon ? neon_ops() : nullptr;
+    case Isa::kAvx2: return cpu_features().avx2 ? avx2_ops() : nullptr;
+    case Isa::kAvx512: return cpu_features().avx512 ? avx512_ops() : nullptr;
+  }
+  return nullptr;
+}
+
+std::vector<Isa> available() {
+  std::vector<Isa> out;
+  for (Isa isa : {Isa::kScalar, Isa::kNeon, Isa::kAvx2, Isa::kAvx512}) {
+    if (table(isa) != nullptr) out.push_back(isa);
+  }
+  return out;
+}
+
+const Ops& ops() {
+  const Ops* t = g_ops.load(std::memory_order_acquire);
+  if (t == nullptr) {
+    // Benign race: concurrent first calls select the same table.
+    t = select_from_env();
+    g_ops.store(t, std::memory_order_release);
+  }
+  return *t;
+}
+
+Isa level() { return ops().isa; }
+
+const Ops& force(Isa isa) {
+  const Ops* t = table(isa);
+  if (t == nullptr) t = table(Isa::kScalar);
+  g_ops.store(t, std::memory_order_release);
+  return *t;
+}
+
+}  // namespace starfish::util::simd

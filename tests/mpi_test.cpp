@@ -599,6 +599,57 @@ TEST(Datatype, IndexedBlocks) {
   EXPECT_EQ(std::to_integer<int>(packed.value()[6]), 20);
 }
 
+// Pins the packed_bytes/extent math when layouts contain zero-length
+// blocks: they contribute no packed bytes and no extent beyond their
+// offset, and pack/unpack skip them entirely.
+TEST(Datatype, ZeroLengthBlocksContributeNothing) {
+  auto d = Datatype::indexed({{0, 4}, {8, 0}, {12, 4}, {40, 0}});
+  EXPECT_EQ(d.packed_bytes(), 8u);
+  EXPECT_EQ(d.extent(), 40u);  // extent still covers the empty block's offset
+  EXPECT_FALSE(d.is_contiguous());
+  util::Bytes buf(48);
+  for (size_t i = 0; i < buf.size(); ++i) buf[i] = static_cast<std::byte>(i);
+  auto packed = d.pack(util::as_bytes_view(buf));
+  ASSERT_TRUE(packed.ok());
+  ASSERT_EQ(packed.value().size(), 8u);
+  EXPECT_EQ(std::to_integer<int>(packed.value()[3]), 3);
+  EXPECT_EQ(std::to_integer<int>(packed.value()[4]), 12);
+
+  // A vector of zero-element blocks packs nothing but keeps its stride extent.
+  auto v = Datatype::vector(3, 0, 5, 4);
+  EXPECT_EQ(v.packed_bytes(), 0u);
+  EXPECT_EQ(v.extent(), 2u * 5 * 4);
+  util::Bytes vbuf(64, std::byte{0xee});
+  auto vpacked = v.pack(util::as_bytes_view(vbuf));
+  ASSERT_TRUE(vpacked.ok());
+  EXPECT_TRUE(vpacked.value().empty());
+  EXPECT_TRUE(v.unpack(vpacked.value(), vbuf).ok());
+
+  auto empty = Datatype::indexed({{16, 0}});
+  EXPECT_EQ(empty.packed_bytes(), 0u);
+  EXPECT_TRUE(empty.is_contiguous());  // zero runs collapse to the trivial plan
+}
+
+// Layouts whose blocks touch collapse to a single bulk copy.
+TEST(Datatype, ContiguousFastPathDetection) {
+  EXPECT_TRUE(Datatype::contiguous(16, 4).is_contiguous());
+  EXPECT_TRUE(Datatype::contiguous(0, 4).is_contiguous());
+  // stride == block: adjacent blocks merge into one run.
+  EXPECT_TRUE(Datatype::vector(8, 3, 3, 4).is_contiguous());
+  EXPECT_FALSE(Datatype::vector(8, 1, 3, 4).is_contiguous());
+  // indexed blocks that abut merge too.
+  EXPECT_TRUE(Datatype::indexed({{0, 4}, {4, 4}, {8, 8}}).is_contiguous());
+  EXPECT_FALSE(Datatype::indexed({{0, 4}, {5, 4}}).is_contiguous());
+
+  auto merged = Datatype::vector(4, 2, 2, 8);  // 4 blocks of 16B, stride 16B
+  EXPECT_EQ(merged.packed_bytes(), 64u);
+  util::Bytes buf(64);
+  for (size_t i = 0; i < buf.size(); ++i) buf[i] = static_cast<std::byte>(i);
+  auto packed = merged.pack(util::as_bytes_view(buf));
+  ASSERT_TRUE(packed.ok());
+  EXPECT_EQ(packed.value(), buf);  // one bulk copy of the whole buffer
+}
+
 TEST(Datatype, ErrorsOnShortBuffers) {
   auto d = Datatype::contiguous(4, 8);
   util::Bytes small(16);
