@@ -11,17 +11,20 @@
 #     checkpoints: restore I/O per backend at 1..R holder crashes), and
 #   - the ablation_gcs_scale membership sweep (flat vs tree dissemination:
 #     sequencer sends per multicast, heartbeat datagrams per period,
-#     marker-barrier and view-change latency at 16/64/256 members).
+#     marker-barrier and view-change latency at 16/64/256 members), and
+#   - the ablation_incremental compressed-epoch sweep (disk bytes per
+#     STARFISH_CKPT_COMPRESS mode plus the replica warm-ship reduction
+#     under delta+lz).
 # The figures' human-readable stdout is unchanged and discarded here.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT_NAME="${1:-BENCH_PR9.json}"
+OUT_NAME="${1:-BENCH_PR10.json}"
 BUILD=build-bench
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" -j --target \
   micro_benchmarks fig3_native_checkpoint fig4_vm_checkpoint fig5_roundtrip \
-  scaling_nodes ablation_recovery ablation_gcs_scale >/dev/null
+  scaling_nodes ablation_recovery ablation_gcs_scale ablation_incremental >/dev/null
 
 out=$(mktemp -d)
 trap 'rm -rf "$out"' EXIT
@@ -33,6 +36,7 @@ trap 'rm -rf "$out"' EXIT
 "$BUILD"/bench/scaling_nodes --threads 1,2,4 --json "$out/scaling.json" >/dev/null
 "$BUILD"/bench/ablation_recovery --json "$out/recovery.json" >/dev/null
 "$BUILD"/bench/ablation_gcs_scale --json "$out/gcs_scale.json" >/dev/null
+"$BUILD"/bench/ablation_incremental --json "$out/incremental.json" >/dev/null
 
 python3 - "$out" "$OUT_NAME" <<'EOF'
 import json, os, sys
@@ -42,7 +46,7 @@ merged = {
     "schema": "starfish-bench-v1",
     "figures": [json.load(open(os.path.join(d, f)))
                 for f in ("fig3.json", "fig4.json", "fig5.json", "scaling.json",
-                          "recovery.json", "gcs_scale.json")],
+                          "recovery.json", "gcs_scale.json", "incremental.json")],
     "micro": json.load(open(os.path.join(d, "micro.json"))),
 }
 with open(sys.argv[2], "w") as f:

@@ -53,7 +53,18 @@ echo "== TSan pass 4: group/chaos tiers, tree dissemination topology, 4 shards =
 STARFISH_SHARDS=4 STARFISH_GCS_TOPOLOGY=tree ctest --output-on-failure \
   -R 'Chaos|Group|GcsDifferential' -j "$@"
 
-echo "== TSan pass 5: data-plane tiers, SIMD dispatch forced scalar, 4 shards =="
+echo "== TSan pass 5: chaos/ckpt tiers, compressed epochs off vs delta+lz, 4 shards =="
+# The codec runs on the putting rank's shard while the delta-base tracker
+# and chain walker live in store-wide maps reached from every shard; these
+# passes race encode/decode, base tracking and the corrupt-chain fallback
+# across four worker threads with faults injected — once with the coded
+# pipeline pinned off, once with lz-coded delta frames forced on.
+STARFISH_SHARDS=4 STARFISH_CKPT_COMPRESS=off ctest --output-on-failure \
+  -R 'Chaos|Replica|Codec|Compress|StoreFault' -j "$@"
+STARFISH_SHARDS=4 STARFISH_CKPT_COMPRESS=delta+lz ctest --output-on-failure \
+  -R 'Chaos|Replica|Codec|Compress|StoreFault' -j "$@"
+
+echo "== TSan pass 6: data-plane tiers, SIMD dispatch forced scalar, 4 shards =="
 # Checkpoint fingerprints run from every worker shard; this pass races the
 # scalar reference kernels (the loops the vector paths are differenced
 # against) through the same multi-shard checkpoint workload.

@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <span>
 
+#include "ckpt/codec.hpp"
 #include "sim/machine.hpp"
 #include "util/buffer.hpp"
 #include "util/result.hpp"
@@ -54,6 +55,17 @@ struct Image {
   /// app-state is a page delta against `base_epoch`'s image.
   bool incremental = false;
   uint64_t base_epoch = 0;
+  /// Payload compression (ckpt/codec.hpp): how `payload` is coded as
+  /// stored/shipped. The storage layer codes on put and decodes on get, so
+  /// everything above the store only ever sees kRaw images.
+  PayloadCodec codec = PayloadCodec::kRaw;
+  /// Length of the raw (decoded) payload when codec != kRaw.
+  uint64_t raw_payload_bytes = 0;
+  /// For kDelta/kDeltaLz: the epoch whose raw payload this delta references
+  /// (same app/rank). Distinct from the incremental `base_epoch` chain — an
+  /// image carries at most one of the two (codec deltas apply only to
+  /// non-incremental images).
+  uint64_t codec_base_epoch = 0;
 };
 
 // ----- native (homogeneous) path -----

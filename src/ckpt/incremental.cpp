@@ -71,7 +71,7 @@ util::Bytes incremental_encode(const util::Bytes& prev, const util::Bytes& cur,
     } else if (warm) {
       differs = cache->hashes[p] != fp;  // prev is not read at all
     } else {
-      differs = std::memcmp(prev.data() + off, cur.data() + off, len) != 0;
+      differs = simd.mismatch(prev.data() + off, cur.data() + off, len) != len;
     }
     if (differs) {
       ++changed;
@@ -134,7 +134,7 @@ util::Result<util::Bytes> incremental_apply(const util::Bytes& base, const util:
     if (data.value().size() != expected) {
       return util::Error::make("decode", "incremental delta page has wrong length");
     }
-    std::memcpy(out.data() + off, data.value().data(), data.value().size());
+    util::simd::copy(out.data() + off, data.value().data(), data.value().size());
   }
   return out;
 }

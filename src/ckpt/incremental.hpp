@@ -24,6 +24,18 @@
 namespace starfish::ckpt {
 
 constexpr size_t kPageBytes = 4096;
+
+/// Chain anchoring grid, shared by incremental checkpointing (CrModule) and
+/// the payload delta codec (store.hpp + codec.hpp): every kFullEvery-th
+/// epoch (1, 5, 9, ...) is self-contained, bounding restore-chain length,
+/// and checkpoint gc must keep everything back to the last full epoch while
+/// any chained encoding is active.
+constexpr uint64_t kFullEvery = 4;
+constexpr bool is_full_epoch(uint64_t epoch) { return epoch % kFullEvery == 1; }
+/// Latest full epoch <= `epoch` (epoch must be >= 1).
+constexpr uint64_t last_full_at_or_before(uint64_t epoch) {
+  return ((epoch - 1) / kFullEvery) * kFullEvery + 1;
+}
 /// On-disk metadata of an incremental image (page table, headers) — the
 /// "base" cost replacing the full run-time dump.
 constexpr uint64_t kIncrementalBaseBytes = 64ull * 1024;

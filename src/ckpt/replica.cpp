@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "ckpt/codec.hpp"
+#include "net/chunk.hpp"
 #include "obs/obs.hpp"
 
 namespace starfish::ckpt {
@@ -55,18 +57,21 @@ ReplicaStore::ReplicaStore(sim::Engine& engine, ReplicaOptions options,
 }
 
 uint64_t ReplicaStore::pages_to_ship(const util::Bytes& payload, const HolderCache* cache,
-                                     std::vector<uint64_t>& fresh) {
+                                     std::vector<uint64_t>& fresh, uint64_t* ship_bytes) {
   const size_t pages = (payload.size() + kPageBytes - 1) / kPageBytes;
   fresh.resize(pages);
   uint64_t ship = 0;
+  uint64_t bytes = 0;
   for (size_t p = 0; p < pages; ++p) {
     const size_t off = p * kPageBytes;
     const size_t len = std::min(kPageBytes, payload.size() - off);
     fresh[p] = page_fingerprint(util::BytesView(payload.data() + off, len));
     if (cache == nullptr || p >= cache->hashes.size() || cache->hashes[p] != fresh[p]) {
       ++ship;
+      bytes += len;
     }
   }
+  if (ship_bytes != nullptr) *ship_bytes = bytes;
   return ship;
 }
 
@@ -92,9 +97,10 @@ void ReplicaStore::put(sim::Host& writer, const CkptKey& key, Image image,
       if (it != holder_caches_.end()) cache = &it->second;
       std::vector<uint64_t> hashes;
       const uint64_t pages = (image.payload.size() + kPageBytes - 1) / kPageBytes;
-      const uint64_t ship = pages_to_ship(image.payload, cache, hashes);
+      uint64_t ship_bytes = 0;
+      const uint64_t ship = pages_to_ship(image.payload, cache, hashes, &ship_bytes);
       if (fresh_hashes.empty()) fresh_hashes = std::move(hashes);
-      const uint64_t bytes = kReplicaHeaderBytes + ship * kPageBytes;
+      const uint64_t bytes = kReplicaHeaderBytes + ship_bytes;
       total_bytes += bytes;
       pages_shipped += ship;
       pages_skipped += pages - ship;
@@ -103,10 +109,13 @@ void ReplicaStore::put(sim::Host& writer, const CkptKey& key, Image image,
     }
   }
 
-  // Phase 2 (unlocked): the transfer itself. A writer crash lands here —
-  // the fiber is killed inside the sleep and phase 3 never runs, so no
-  // partial copy can exist (commit-after-transfer).
-  engine_.sleep(transfer);
+  // Phase 2 (unlocked): the transfer itself, streamed in bounded chunks
+  // (net/chunk.hpp) — the in-flight window stays a few hundred KB however
+  // large the epoch is, and the chunk sleeps sum exactly to the monolithic
+  // time. A writer crash lands here — the fiber is killed inside a chunk
+  // sleep and phase 3 never runs, so no partial copy can exist
+  // (commit-after-transfer).
+  net::chunked_sleep(engine_, transfer, total_bytes);
 
   // Phase 3 (locked): install. Holders that died during the transfer are
   // dropped; their memory is gone. Mutations are commutative: identical
@@ -170,8 +179,10 @@ std::optional<Image> ReplicaStore::get(sim::Host& reader, const CkptKey& key) {
   // fetch pays request + response fixed costs plus the wire.
   const sim::Time start = engine_.now();
   const net::TransportModel& model = net::model_for(options_.transport);
-  engine_.sleep(local ? loopback_time(bytes)
-                      : 2 * model.one_way_fixed() + model.wire_time(bytes));
+  net::chunked_sleep(engine_,
+                     local ? loopback_time(bytes)
+                           : 2 * model.one_way_fixed() + model.wire_time(bytes),
+                     bytes);
   if (obs::Hub* hub = engine_.obs()) {
     hub->metrics.counter("ckpt.replica.gets").add(1);
     hub->metrics.counter("ckpt.replica.bytes_fetched").add(bytes);
@@ -225,14 +236,40 @@ bool ReplicaStore::recoverable_locked(const CkptKey& key) const {
   for (;;) {
     auto it = entries_.find(at);
     if (it == entries_.end() || it->second.holders.empty()) return false;
-    if (!it->second.image.incremental) return true;
-    at.epoch = it->second.image.base_epoch;
+    const Image& img = it->second.image;
+    // A surviving but corrupt copy cannot rebuild state — structural codec
+    // verification (fingerprint pass, no decode) disqualifies it here.
+    if (!verify_payload(img.codec, util::as_bytes_view(img.payload)).ok()) return false;
+    if (img.incremental) {
+      at.epoch = img.base_epoch;
+      continue;
+    }
+    if (img.codec == PayloadCodec::kDelta || img.codec == PayloadCodec::kDeltaLz) {
+      if (img.codec_base_epoch >= at.epoch) return false;
+      at.epoch = img.codec_base_epoch;
+      continue;
+    }
+    return true;
   }
 }
 
 bool ReplicaStore::recoverable(const CkptKey& key) const {
   std::lock_guard<std::mutex> lock(mu_);
   return recoverable_locked(key);
+}
+
+bool ReplicaStore::corrupt_payload(const CkptKey& key, size_t offset, bool truncate) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.holders.empty()) return false;
+  util::Bytes& payload = it->second.image.payload;
+  if (payload.empty()) return false;
+  if (truncate) {
+    payload.resize(std::min(offset, payload.size() - 1));
+  } else {
+    payload[offset % payload.size()] ^= std::byte{0x40};
+  }
+  return true;
 }
 
 void ReplicaStore::on_host_crash(sim::HostId host) {
@@ -285,8 +322,9 @@ void ReplicaStore::rebalance(sim::Host& shipper, const std::string& app, uint32_
         Shipment s;
         s.key = key;
         s.holder = holder;
-        const uint64_t ship = pages_to_ship(entry.image.payload, cache, s.hashes);
-        s.bytes = kReplicaHeaderBytes + ship * kPageBytes;
+        uint64_t ship_bytes = 0;
+        pages_to_ship(entry.image.payload, cache, s.hashes, &ship_bytes);
+        s.bytes = kReplicaHeaderBytes + ship_bytes;
         transfer += holder == shipper.id()
                         ? loopback_time(s.bytes)
                         : model.one_way_fixed() + model.wire_time(s.bytes);
@@ -296,9 +334,12 @@ void ReplicaStore::rebalance(sim::Host& shipper, const std::string& app, uint32_
   }
   if (ships.empty()) return;
 
-  // Phase 2 (unlocked): the transfer. Same commit-after-transfer rule as
-  // put — a crashed shipper leaves the holder sets untouched.
-  engine_.sleep(transfer);
+  // Phase 2 (unlocked): the transfer, streamed in bounded chunks. Same
+  // commit-after-transfer rule as put — a crashed shipper leaves the
+  // holder sets untouched.
+  uint64_t planned_bytes = 0;
+  for (const Shipment& s : ships) planned_bytes += s.bytes;
+  net::chunked_sleep(engine_, transfer, planned_bytes);
 
   // Phase 3 (locked): union the new holders in. Entries gc'd or
   // invalidated during the transfer are skipped (nothing to extend).

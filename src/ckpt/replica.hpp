@@ -109,9 +109,16 @@ class ReplicaStore {
   /// Highest surviving epoch/index for (app, rank), if any copy survives.
   std::optional<uint64_t> latest_stored(const std::string& app, uint32_t rank) const;
 
-  /// True iff `key` and its whole incremental base chain each have >= 1
-  /// surviving copy — the replica tier alone can rebuild this state.
+  /// True iff `key` and its whole restore chain (incremental bases and
+  /// codec delta bases) each have >= 1 surviving copy whose payload passes
+  /// structural verification — the replica tier alone can rebuild this
+  /// state.
   bool recoverable(const CkptKey& key) const;
+
+  /// Test-only fault injection: flips one byte of (or truncates) the
+  /// stored payload of `key`'s entry. Returns false when no copy survives
+  /// here. Mirrors CheckpointStore::corrupt_payload.
+  bool corrupt_payload(const CkptKey& key, size_t offset, bool truncate = false);
 
   /// Crash invalidation: drops every copy `host` held (its memory is
   /// gone) and forgets its warm-transfer caches. Entries left with no
@@ -166,9 +173,11 @@ class ReplicaStore {
   using HolderKey = std::tuple<sim::HostId, std::string, uint32_t>;
 
   /// Pages of `payload` a holder with `cache` still needs (changed or new
-  /// fingerprints); fills `fresh` with the payload's full fingerprint set.
+  /// fingerprints); fills `fresh` with the payload's full fingerprint set
+  /// and `ship_bytes` with the actual byte total of the shipped pages
+  /// (tail pages count their real length, not a full 4 KB).
   static uint64_t pages_to_ship(const util::Bytes& payload, const HolderCache* cache,
-                                std::vector<uint64_t>& fresh);
+                                std::vector<uint64_t>& fresh, uint64_t* ship_bytes);
   bool recoverable_locked(const CkptKey& key) const;
 
   sim::Engine& engine_;

@@ -40,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/codec.hpp"
 #include "ckpt/image.hpp"
 #include "ckpt/key.hpp"
 #include "ckpt/replica.hpp"
@@ -73,6 +74,19 @@ class CheckpointStore {
   /// The replication tier, if enable_replica_backend ran (else nullptr).
   ReplicaStore* replicas() { return replica_.get(); }
   const ReplicaStore* replicas() const { return replica_.get(); }
+
+  /// Payload compression policy (ckpt/codec.hpp): puts code payloads on
+  /// their way into either tier, gets decode transparently, so callers
+  /// above the store never see coded bytes. Configure before any put
+  /// (Cluster does, from ClusterOptions/STARFISH_CKPT_COMPRESS).
+  void set_compress_mode(CompressMode mode) { compress_ = mode; }
+  CompressMode compress_mode() const { return compress_; }
+  /// True when the mode produces cross-epoch chains (delta references):
+  /// checkpoint gc must then keep everything back to the last full epoch,
+  /// exactly like incremental checkpointing.
+  bool compress_chained() const {
+    return compress_ == CompressMode::kDelta || compress_ == CompressMode::kDeltaLz;
+  }
 
   /// Writes an image, blocking the calling fiber for the local disk time
   /// (synchronous + dump setup for native images, buffered for portable).
@@ -157,13 +171,43 @@ class CheckpointStore {
     return bytes_written_;
   }
 
+  /// Fault injection for the recovery tests: flips one payload byte (or
+  /// truncates the payload at `offset`) of the stored image in whichever
+  /// tier holds it. Returns false when the key is stored nowhere. The
+  /// damage is exactly what latest_recoverable / get must survive by
+  /// falling back — production code never calls this.
+  bool corrupt_payload(const CkptKey& key, size_t offset, bool truncate = false);
+
  private:
-  /// True iff `key`'s incremental base chain is complete in the disk maps.
+  /// True iff `key`'s restore chain (incremental bases and codec delta
+  /// bases) is complete in the disk maps and every link's payload passes
+  /// structural verification.
   bool disk_chain_complete_locked(const CkptKey& key) const;
+  /// Codes `image`'s payload per compress_ (delta base = the raw payload
+  /// of this rank's previous stored epoch) and tracks the raw payload for
+  /// the next epoch's delta. No-op when the mode is kOff.
+  void encode_for_store(const CkptKey& key, Image& image);
+  /// The tier fetch of the old get(): returns the image as stored (payload
+  /// possibly coded), charging the tier's read cost.
+  std::optional<Image> fetch_stored(sim::Host& host, const CkptKey& key);
+  /// Resolves `key`'s raw payload from the disk maps alone (follows codec
+  /// chains, no cost) — content_hash uses this so the hash is invariant
+  /// across compression modes.
+  bool raw_payload_locked(const CkptKey& key, util::Bytes& out, int depth) const;
+
+  /// The raw payload of the newest epoch put for one (app, rank) — the
+  /// delta base for that rank's next epoch. Node-stable map: puts for the
+  /// same rank are sequential (one writer fiber), so an entry is only ever
+  /// rewritten by its own rank while other ranks insert siblings.
+  struct LastPayload {
+    uint64_t epoch = 0;
+    util::Bytes raw;
+  };
 
   sim::Engine& engine_;
   mutable std::mutex mu_;
   std::map<CkptKey, Image> images_;
+  std::map<std::pair<std::string, uint32_t>, LastPayload> last_payloads_;
   std::map<CkptKey, util::Bytes> metas_;
   std::map<std::string, uint64_t> committed_;
   std::map<std::pair<std::string, uint64_t>, sim::Time> begin_times_;
@@ -171,6 +215,7 @@ class CheckpointStore {
   std::map<std::string, EpochStats> duration_agg_;
   uint64_t bytes_written_ = 0;
   CkptBackend backend_ = CkptBackend::kDisk;
+  CompressMode compress_ = CompressMode::kOff;
   std::unique_ptr<ReplicaStore> replica_;
 };
 

@@ -38,12 +38,21 @@ uint32_t replication_from_env(const std::optional<ckpt::CkptBackend>& from_optio
   const long n = std::strtol(env, nullptr, 10);
   return n >= 1 ? static_cast<uint32_t>(n) : replication;
 }
+
+/// STARFISH_CKPT_COMPRESS=off|lz|delta|delta+lz codes checkpoint payloads
+/// in the store for every cluster whose options did not pin a mode — same
+/// contract as the backend lever above. The goldens pin kOff explicitly.
+ckpt::CompressMode compress_from_env(const std::optional<ckpt::CompressMode>& from_options) {
+  if (from_options) return *from_options;
+  return ckpt::compress_mode_from_env();
+}
 }  // namespace
 
 Cluster::Cluster(ClusterOptions options)
     : options_(std::move(options)), engine_(options_.seed), network_(engine_), store_(engine_) {
   // Before any host registers its node.
   engine_.set_shards(shards_from_env(options_.shards));
+  store_.set_compress_mode(compress_from_env(options_.ckpt_compress));
   if (backend_from_env(options_.ckpt_backend) == ckpt::CkptBackend::kReplica) {
     ckpt::ReplicaOptions ropts;
     ropts.replication = replication_from_env(options_.ckpt_backend, options_.ckpt_replication);

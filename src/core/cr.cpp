@@ -22,14 +22,11 @@ constexpr sim::Duration kPerMemberSyncCost = sim::milliseconds(15);
 /// (page-table duplication on a late-90s workstation).
 constexpr sim::Duration kForkCost = sim::milliseconds(3);
 
-/// Incremental checkpointing writes a full image every kFullEvery epochs
-/// (epoch 1, 5, 9, ... are full) to bound restore-chain length.
-constexpr uint64_t kFullEvery = 4;
-
-bool is_full_epoch(uint64_t epoch) { return epoch % kFullEvery == 1; }
-uint64_t last_full_at_or_before(uint64_t epoch) {
-  return ((epoch - 1) / kFullEvery) * kFullEvery + 1;
-}
+// The full-epoch grid (every kFullEvery-th epoch is self-contained) lives
+// in ckpt/incremental.hpp since PR 10: the store's payload delta codec
+// anchors on the same grid, so both layers must agree on it.
+using ckpt::is_full_epoch;
+using ckpt::last_full_at_or_before;
 
 util::Bytes encode_epoch(uint64_t epoch) {
   util::Bytes b;
@@ -213,8 +210,11 @@ void CrModule::handle_ack(uint64_t epoch, uint32_t from) {
   // garbage-collect older epochs. Incremental chains keep everything back
   // to the most recent full image.
   process_.store().commit(process_.job().name, epoch);
-  const uint64_t keep =
-      process_.job().incremental_ckpt ? last_full_at_or_before(epoch) : epoch;
+  // Chained encodings (incremental app-state deltas, payload codec deltas)
+  // need their base images back to the last full epoch to stay restorable.
+  const bool chained =
+      process_.job().incremental_ckpt || process_.store().compress_chained();
+  const uint64_t keep = chained ? last_full_at_or_before(epoch) : epoch;
   process_.store().gc(process_.job().name, keep);
   initiating_ = false;
   send_coord(CoordKind::kCommit, epoch);

@@ -1,0 +1,36 @@
+#include "net/chunk.hpp"
+
+#include <algorithm>
+
+#include "obs/obs.hpp"
+
+namespace starfish::net {
+
+void chunked_sleep(sim::Engine& engine, sim::Duration total, uint64_t bytes) {
+  const uint64_t n = chunk_count(bytes);
+  if (obs::Hub* hub = engine.obs()) {
+    hub->metrics.counter("net.chunk.transfers").add(1);
+    hub->metrics.counter("net.chunk.chunks").add(n);
+    hub->metrics.counter("net.chunk.bytes").add(bytes);
+    // High-water mark of the streamed window — the whole point of chunking
+    // is that this stays <= kChunkBytes however large the epoch gets.
+    hub->metrics.gauge("net.chunk.inflight_bytes")
+        .set(static_cast<int64_t>(std::min(bytes, kChunkBytes)));
+  }
+  if (n == 1) {
+    engine.sleep(total);
+  } else {
+    // Exact integer partition: the i-th chunk sleeps total*(i+1)/n -
+    // total*i/n, so the chunks sum to `total` to the nanosecond and the
+    // monolithic formula's downstream timestamps are preserved.
+    for (uint64_t i = 0; i < n; ++i) {
+      engine.sleep(total * static_cast<sim::Duration>(i + 1) / static_cast<sim::Duration>(n) -
+                   total * static_cast<sim::Duration>(i) / static_cast<sim::Duration>(n));
+    }
+  }
+  if (obs::Hub* hub = engine.obs()) {
+    hub->metrics.gauge("net.chunk.inflight_bytes").set(0);
+  }
+}
+
+}  // namespace starfish::net

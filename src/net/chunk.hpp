@@ -1,0 +1,41 @@
+// Chunked bulk transfer (PR 10).
+//
+// Replica checkpoint epochs used to travel as one monolithic transfer: a
+// single engine sleep covering the whole image, which models a sender that
+// materializes and ships the entire epoch in one piece. Real bulk paths
+// stream: the payload moves in bounded chunks, so the in-flight window is
+// a few hundred KB regardless of epoch size, and a crash mid-transfer
+// aborts at a chunk boundary rather than after "all or nothing" virtual
+// time. This helper models that streaming shape while keeping the TOTAL
+// charged time bit-identical to the monolithic formula — the per-chunk
+// sleeps are an exact integer partition of `total`, so swapping a
+// monolithic sleep for chunked_sleep never moves any downstream timestamp.
+// What changes is the event structure (one wakeup per chunk) and the obs
+// view: an in-flight gauge and chunk counters that make streaming depth
+// visible.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/engine.hpp"
+
+namespace starfish::net {
+
+/// In-flight window of a streamed bulk transfer. 256 KB ~ a few dozen
+/// pages: deep enough to amortize per-chunk fixed costs, small enough that
+/// a multi-MB epoch never sits fully materialized "on the wire".
+constexpr uint64_t kChunkBytes = 256 * 1024;
+
+/// Number of chunks a `bytes`-sized transfer streams as (>= 1; a zero-byte
+/// transfer still pays its fixed cost as one chunk).
+constexpr uint64_t chunk_count(uint64_t bytes) {
+  return bytes <= kChunkBytes ? 1 : (bytes + kChunkBytes - 1) / kChunkBytes;
+}
+
+/// Sleeps the calling fiber for exactly `total`, partitioned into
+/// chunk_count(bytes) consecutive sleeps (total*(i+1)/n - total*i/n, an
+/// exact integer partition). Emits net.chunk.* obs metrics: chunk count,
+/// bytes, and a max-tracking gauge of the in-flight window.
+void chunked_sleep(sim::Engine& engine, sim::Duration total, uint64_t bytes);
+
+}  // namespace starfish::net

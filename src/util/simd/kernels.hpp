@@ -159,6 +159,23 @@ static inline uint64_t fingerprint_shell(const std::byte* p, size_t n, AccFn acc
   return avalanche64(h);
 }
 
+/// Shared scalar epilogue of the mismatch kernel: first index in [i, n)
+/// where a and b differ, or n. Also the whole scalar reference body.
+static inline size_t mismatch_tail(const std::byte* a, const std::byte* b, size_t i, size_t n) {
+  for (; i < n; ++i) {
+    if (a[i] != b[i]) return i;
+  }
+  return n;
+}
+
+/// Shared scalar epilogue of the strided gather: element j in [i, n) of dst
+/// is the 8 bytes at src + j*stride. Also the whole scalar reference body
+/// (pure data movement, so bit-identity across backends is structural).
+static inline void gather64_tail(std::byte* dst, const std::byte* src, size_t stride, size_t i,
+                                 size_t n) {
+  for (; i < n; ++i) std::memcpy(dst + 8 * i, src + i * stride, 8);
+}
+
 // --- per-element scalar steps (the shared tails of the movement kernels) ---
 
 template <unsigned kElem>

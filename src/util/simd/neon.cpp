@@ -78,9 +78,29 @@ void narrow_neon(std::byte* dst, const std::byte* src, size_t n) {
   for (; i < n; ++i) detail::narrow_one(dst + 4 * i, src + 8 * i);
 }
 
+size_t mismatch_neon(const std::byte* a, const std::byte* b, size_t n) {
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16_t va = vld1q_u8(reinterpret_cast<const uint8_t*>(a + i));
+    const uint8x16_t vb = vld1q_u8(reinterpret_cast<const uint8_t*>(b + i));
+    const uint64x2_t eq = vreinterpretq_u64_u8(vceqq_u8(va, vb));
+    const uint64_t lo = vgetq_lane_u64(eq, 0);
+    if (lo != ~0ull) return i + static_cast<size_t>(std::countr_zero(~lo)) / 8;
+    const uint64_t hi = vgetq_lane_u64(eq, 1);
+    if (hi != ~0ull) return i + 8 + static_cast<size_t>(std::countr_zero(~hi)) / 8;
+  }
+  return detail::mismatch_tail(a, b, i, n);
+}
+
+void gather64_neon(std::byte* dst, const std::byte* src, size_t stride, size_t n) {
+  // NEON has no gather; the scalar loop already saturates the load ports.
+  detail::gather64_tail(dst, src, stride, 0, n);
+}
+
 constexpr Ops kNeonTable = {
     Isa::kNeon,    fingerprint_neon, copy_neon,   bswap_neon<2>,
     bswap_neon<4>, bswap_neon<8>,    widen_neon,  narrow_neon,
+    mismatch_neon, gather64_neon,
 };
 
 }  // namespace

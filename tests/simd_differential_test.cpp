@@ -212,6 +212,67 @@ TEST(SimdDifferential, CopyMatchesSourceAtEveryLevel) {
   }
 }
 
+TEST(SimdDifferential, MismatchMatchesScalarAtPlantedPositions) {
+  const simd::Ops* scalar = simd::table(Isa::kScalar);
+  util::Rng rng(0x51f15a07);
+  for (size_t n : boundary_sizes()) {
+    util::Bytes a = random_bytes(rng, n + 16);
+    util::Bytes b = a;
+    // Equal ranges first, then a planted difference at every boundary-ish
+    // position (start, end, register edges, random interior).
+    std::vector<size_t> positions = {0, n / 2, n > 0 ? n - 1 : 0, rng.next() % (n + 1)};
+    for (size_t limit : {n, n / 3}) {
+      EXPECT_EQ(scalar->mismatch(a.data(), b.data(), limit), limit);
+      for (Isa isa : vector_levels()) {
+        EXPECT_EQ(simd::table(isa)->mismatch(a.data(), b.data(), limit), limit)
+            << simd::isa_name(isa) << " equal n=" << limit;
+      }
+    }
+    for (size_t pos : positions) {
+      if (pos >= n) continue;
+      util::Bytes c = a;
+      c[pos] = static_cast<std::byte>(static_cast<uint8_t>(c[pos]) ^ 0x80);
+      const size_t want = scalar->mismatch(a.data(), c.data(), n);
+      ASSERT_EQ(want, pos);
+      for (Isa isa : vector_levels()) {
+        EXPECT_EQ(simd::table(isa)->mismatch(a.data(), c.data(), n), want)
+            << simd::isa_name(isa) << " n=" << n << " pos=" << pos;
+      }
+      // Misaligned views of the same planted difference.
+      for (size_t mis : {size_t{1}, size_t{7}, size_t{13}}) {
+        const size_t m = n;  // buffers carry 16 spare bytes
+        const size_t w = scalar->mismatch(a.data() + mis, c.data() + mis, m);
+        for (Isa isa : vector_levels()) {
+          EXPECT_EQ(simd::table(isa)->mismatch(a.data() + mis, c.data() + mis, m), w)
+              << simd::isa_name(isa) << " mis=" << mis;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdDifferential, Gather64MatchesScalarAtRandomStrides) {
+  const simd::Ops* scalar = simd::table(Isa::kScalar);
+  util::Rng rng(0x51f15a08);
+  for (int iter = 0; iter < 200; ++iter) {
+    const size_t n = rng.next() % 600;
+    const size_t stride = 8 + rng.next() % 56;  // includes the Value stride 32
+    const size_t mis = rng.next() % 8;          // unaligned source base
+    util::Bytes src = random_bytes(rng, mis + (n == 0 ? 0 : (n - 1) * stride + 8));
+    util::Bytes want(n * 8, std::byte{0xcd});
+    scalar->gather64(want.data(), src.data() + mis, stride, n);
+    // Reference semantics: element i is the 8 bytes at src + i*stride.
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(std::memcmp(want.data() + 8 * i, src.data() + mis + i * stride, 8), 0);
+    }
+    for (Isa isa : vector_levels()) {
+      util::Bytes got(n * 8, std::byte{0x3e});
+      simd::table(isa)->gather64(got.data(), src.data() + mis, stride, n);
+      EXPECT_EQ(got, want) << simd::isa_name(isa) << " n=" << n << " stride=" << stride;
+    }
+  }
+}
+
 // ----------------------------------------------------------- dispatch ----
 
 TEST(SimdDifferential, DispatchInvariants) {
